@@ -1,0 +1,64 @@
+"""Ablation: the Section 6.3 Merger optimizations.
+
+Two independent switches on DT-generated candidates:
+
+* **top-quartile expansion** (vs expanding every candidate);
+* **cached-state approximation** (vs exact scoring of every candidate
+  merge).
+
+We measure merge wall-clock, Scorer work avoided, and the exact
+influence of the final predicate — the optimizations must buy speed
+without giving up (much) quality.
+"""
+
+import time
+
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.core.merger import Merger, MergerParams
+from repro.eval import format_table
+
+from benchmarks.conftest import emit_report, run_once, synth_dataset
+
+CONFIGS = [
+    ("basic (all, exact)", MergerParams(expand_fraction=1.0,
+                                        use_approximation=False)),
+    ("quartile only", MergerParams(expand_fraction=0.25,
+                                   use_approximation=False)),
+    ("approximation only", MergerParams(expand_fraction=1.0,
+                                        use_approximation=True)),
+    ("quartile + approx", MergerParams(expand_fraction=0.25,
+                                       use_approximation=True)),
+]
+
+
+def _experiment():
+    dataset = synth_dataset(3, "easy")
+    problem = dataset.scorpion_query(c=0.1)
+    scorer = InfluenceScorer(problem)
+    candidates = DTPartitioner(seed=0).run(problem, scorer).candidates
+    rows = []
+    results = {}
+    for label, params in CONFIGS:
+        merger = Merger(scorer, problem.domain, params=params)
+        started = time.perf_counter()
+        merged = merger.run(list(candidates))
+        elapsed = time.perf_counter() - started
+        best = merged[0].influence if merged else float("nan")
+        rows.append([label, round(elapsed, 3), merger.report.n_expanded,
+                     merger.report.n_scorer_calls_saved, round(best, 4)])
+        results[label] = (elapsed, best)
+    return rows, results
+
+
+def test_merger_optimizations(benchmark):
+    rows, results = run_once(benchmark, _experiment)
+    emit_report("ablation_merger", format_table(
+        "Ablation — Merger optimizations (§6.3) on DT candidates, 3D Easy",
+        ["configuration", "seconds", "expanded", "scorer calls saved",
+         "best influence"], rows))
+    basic_time, basic_influence = results["basic (all, exact)"]
+    fast_time, fast_influence = results["quartile + approx"]
+    assert fast_time <= basic_time
+    # Quality within 10% of the exhaustive merger.
+    assert fast_influence >= basic_influence * 0.9

@@ -1,0 +1,49 @@
+"""Figure 15: runtime as the dataset grows (paper: 5k → 100k tuples,
+c = 0.1, Easy datasets, per dimensionality).
+
+The paper reports runtime roughly linear in the dataset size, with a
+slope that grows with dimensionality.  We sweep the per-group tuple
+count, time DT and MC, and assert the near-linear shape: runtime grows
+with size but clearly sub-quadratically.
+"""
+
+from repro.eval import format_table
+from repro.eval.runner import run_algorithm
+
+from benchmarks.conftest import SCALE, emit_report, run_once, synth_dataset
+
+GROUP_SIZES = (500, 1000, 2000) if SCALE == "quick" else (500, 2000, 5000, 10000)
+DIMS = (2, 3)
+C = 0.1
+
+
+def _experiment():
+    rows = []
+    times: dict[tuple, float] = {}
+    for n_dims in DIMS:
+        for group_size in GROUP_SIZES:
+            dataset = synth_dataset(n_dims, "easy", tuples_per_group=group_size)
+            problem = dataset.scorpion_query(c=C)
+            for name in ("dt", "mc"):
+                record = run_algorithm(name, problem)
+                times[(n_dims, group_size, name)] = record.runtime
+                rows.append([f"{n_dims}D", group_size * 10, name,
+                             round(record.runtime, 2)])
+    return rows, times
+
+
+def test_fig15_cost_vs_size(benchmark):
+    rows, times = run_once(benchmark, _experiment)
+    emit_report("fig15_cost_vs_size", format_table(
+        f"Figure 15 — runtime (s) vs total tuples (Easy, c = {C})",
+        ["dims", "tuples", "algorithm", "seconds"], rows))
+    smallest, largest = GROUP_SIZES[0], GROUP_SIZES[-1]
+    scale_factor = largest / smallest
+    for n_dims in DIMS:
+        for name in ("dt", "mc"):
+            small_t = max(times[(n_dims, smallest, name)], 1e-3)
+            big_t = times[(n_dims, largest, name)]
+            # Sub-quadratic growth: time ratio well under size-ratio².
+            assert big_t / small_t < scale_factor ** 2 * 2, (
+                f"{name} {n_dims}D grew {big_t / small_t:.1f}x "
+                f"on a {scale_factor:.0f}x size increase")

@@ -1,0 +1,64 @@
+"""Section 8.4, EXPENSE workload: Obama campaign media buys.
+
+Paper findings (ground truth = tuples over $1.5M, F ≈ 0.6 for the best
+predicate on the real file):
+
+* c ∈ [0.2, 1]: a conjunction pinning the GMMB INC. media-buy filing —
+  ``recipient_st = DC & recipient_nm = GMMB INC. & file_num = 800316 &
+  disb_desc = MEDIA BUY`` (one attribute suffices to select the same
+  tuples; our MC returns the minimal form);
+* c < 0.1: the file_num clause drops and the predicate matches all
+  GMMB payments.
+
+Asserted shape: at high c the returned predicate selects exactly the
+800316 media buys (F = 1 on the generated data, where the filing and the
+truth set coincide); at low c it relaxes to a superset with full recall
+and lower precision.
+"""
+
+from repro.core.scorpion import Scorpion
+from repro.datasets import ExpensesConfig, generate_expenses
+from repro.eval import format_table, score_predicate
+
+from benchmarks.conftest import SCALE, emit_report, run_once
+
+C_VALUES = (1.0, 0.5, 0.2, 0.05)
+
+
+def _experiment():
+    config = (ExpensesConfig(n_days=540, rows_per_day=200)
+              if SCALE == "paper" else ExpensesConfig())
+    dataset = generate_expenses(config)
+    effective = dataset.effective_table()
+    truth = dataset.effective_truth_mask()
+    outlier_rows = dataset.outlier_row_indices()
+    rows = []
+    stats_by_c = {}
+    for c in C_VALUES:
+        problem = dataset.scorpion_query(c=c)
+        result = Scorpion().explain(problem)
+        best = result.best
+        stats = score_predicate(best.predicate, effective, truth, outlier_rows)
+        rows.append([c, result.algorithm, str(best.predicate),
+                     round(stats.precision, 3), round(stats.recall, 3),
+                     round(stats.f_score, 3), round(result.elapsed, 2)])
+        stats_by_c[c] = (stats, str(best.predicate))
+    return dataset, rows, stats_by_c
+
+
+def test_expenses_workload(benchmark):
+    dataset, rows, stats_by_c = run_once(benchmark, _experiment)
+    emit_report("real_expenses", format_table(
+        f"Section 8.4 — EXPENSE workload ({len(dataset.table):,} rows, "
+        f"{len(dataset.outlier_keys)} outlier days / "
+        f"{len(dataset.holdout_keys)} hold-outs; truth = tuples > $1.5M)",
+        ["c", "algorithm", "predicate", "precision", "recall", "F", "seconds"],
+        rows))
+    high_stats, high_predicate = stats_by_c[1.0]
+    low_stats, low_predicate = stats_by_c[0.05]
+    # High c pins the expensive filing exactly.
+    assert high_stats.f_score > 0.9
+    assert "800316" in high_predicate or "GMMB" in high_predicate
+    # Low c keeps recall but relaxes precision (coarser predicate).
+    assert low_stats.recall >= high_stats.recall - 1e-9
+    assert low_stats.precision <= high_stats.precision + 1e-9

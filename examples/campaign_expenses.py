@@ -1,0 +1,52 @@
+"""The paper's EXPENSE workload: where did the Obama campaign's money go?
+(Section 8.4.)
+
+The daily-total query shows seven days above $10M against a typical
+baseline.  The aggregate is SUM over non-negative amounts — independent
+*and* anti-monotone — so Scorpion's auto-selection runs the bottom-up MC
+partitioner.  Sweeping ``c`` reproduces the paper's finding: high ``c``
+isolates the expensive GMMB INC. media-buy filing (file_num 800316,
+average ≈ $2.7M per buy); low ``c`` relaxes to all GMMB payments.
+
+Run:  python examples/campaign_expenses.py
+"""
+
+from repro import Scorpion
+from repro.datasets import ExpensesConfig, generate_expenses
+from repro.eval import format_table, score_predicate
+
+
+def main() -> None:
+    dataset = generate_expenses(ExpensesConfig(seed=0))
+    effective = dataset.effective_table()
+    print(f"expense rows: {len(dataset.table):,} "
+          f"({len(effective):,} for the Obama campaign)")
+
+    results = dataset.query().execute(dataset.table)
+    print("\nTop five spending days:")
+    top_days = sorted(results, key=lambda r: r.value, reverse=True)[:5]
+    print(format_table("daily totals", ["date", "total ($)"],
+                       [[r.key_string(), f"{r.value:,.0f}"] for r in top_days]))
+
+    rows = []
+    for c in (1.0, 0.5, 0.2, 0.05, 0.0):
+        problem = dataset.scorpion_query(c=c)
+        result = Scorpion().explain(problem)
+        best = result.best
+        stats = score_predicate(best.predicate, effective,
+                                dataset.effective_truth_mask(),
+                                dataset.outlier_row_indices())
+        rows.append([c, result.algorithm, str(best.predicate),
+                     round(stats.precision, 3), round(stats.recall, 3),
+                     round(stats.f_score, 3)])
+    print()
+    print(format_table(
+        "explanations by c (ground truth: tuples over $1.5M)",
+        ["c", "algorithm", "predicate", "precision", "recall", "F"], rows))
+
+    print("\nHigh c pins the 800316 media-buy filing; low c widens to all")
+    print("GMMB INC. payments — the paper's Section 8.4 progression.")
+
+
+if __name__ == "__main__":
+    main()

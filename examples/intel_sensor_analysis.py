@@ -1,0 +1,55 @@
+"""The paper's INTEL workloads: explaining sensor failures (Section 8.4).
+
+Two failure scenarios on a simulated Intel Lab deployment, both analyzed
+through ``SELECT stddev(temp) FROM readings GROUP BY hour``:
+
+* workload 1 — sensor 15 dies and floods the trace with >100°C readings
+  at a characteristic voltage band;
+* workload 2 — sensor 18 loses battery power; readings peak when its
+  light sensor reads 283–354 lux.
+
+For each workload we sweep the Section 7 knob ``c`` and print the
+predicate Scorpion returns, plus its accuracy against the known failure
+rows.  Expect ``sensorid = 15`` / ``sensorid = 18`` (possibly refined by
+voltage/light clauses at high ``c``), mirroring the paper's findings.
+
+Run:  python examples/intel_sensor_analysis.py
+"""
+
+from repro import Scorpion
+from repro.datasets import make_intel
+from repro.eval import format_table, score_predicate
+
+
+def analyze(workload: int, c_values=(1.0, 0.5, 0.1)) -> None:
+    dataset = make_intel(workload, readings_per_sensor_hour=5)
+    print(f"\n=== INTEL workload {workload}: failing sensor "
+          f"{dataset.config.failing_sensor} ===")
+    print(f"rows: {len(dataset.table):,}; outlier hours: "
+          f"{len(dataset.outlier_keys)}; hold-out hours: "
+          f"{len(dataset.holdout_keys)}")
+
+    scorpion = Scorpion(algorithm="dt", use_cache=True)
+    rows = []
+    for c in c_values:
+        problem = dataset.scorpion_query(c=c)
+        result = scorpion.explain(problem)
+        best = result.best
+        stats = score_predicate(best.predicate, dataset.table,
+                                dataset.failure_mask,
+                                dataset.outlier_row_indices())
+        rows.append([c, str(best.predicate), round(stats.f_score, 3),
+                     round(result.elapsed, 2)])
+    print(format_table(f"workload {workload} explanations by c",
+                       ["c", "predicate", "F-score", "seconds"], rows))
+
+
+def main() -> None:
+    analyze(1)
+    analyze(2)
+    print("\nBoth workloads isolate the failing sensor; the paper reports")
+    print("the same predicates on the real trace (Section 8.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: the paper's running example (Tables 1 and 2).
+
+An analyst runs ``SELECT avg(temp) FROM sensors GROUP BY time`` over nine
+sensor readings, sees that the 12PM and 1PM averages are unexpectedly
+high, flags them as too-high outliers with 11AM as the hold-out, and asks
+Scorpion why.  The answer the paper motivates: sensor 3, whose voltage
+dropped, started reporting bogus temperatures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ColumnKind,
+    ColumnSpec,
+    Schema,
+    Scorpion,
+    ScorpionQuery,
+    Table,
+    parse_query,
+)
+
+# --- Table 1 of the paper -------------------------------------------------
+schema = Schema([
+    ColumnSpec("time", ColumnKind.DISCRETE),
+    ColumnSpec("sensorid", ColumnKind.DISCRETE),
+    ColumnSpec("voltage", ColumnKind.CONTINUOUS),
+    ColumnSpec("humidity", ColumnKind.CONTINUOUS),
+    ColumnSpec("temp", ColumnKind.CONTINUOUS),
+])
+sensors = Table.from_rows(schema, [
+    ("11AM", 1, 2.64, 0.4, 34.0),
+    ("11AM", 2, 2.65, 0.5, 35.0),
+    ("11AM", 3, 2.63, 0.4, 35.0),
+    ("12PM", 1, 2.70, 0.3, 35.0),
+    ("12PM", 2, 2.70, 0.5, 35.0),
+    ("12PM", 3, 2.30, 0.4, 100.0),
+    ("1PM", 1, 2.70, 0.3, 35.0),
+    ("1PM", 2, 2.70, 0.5, 35.0),
+    ("1PM", 3, 2.30, 0.5, 80.0),
+])
+
+
+def main() -> None:
+    print("Input relation (paper Table 1):")
+    print(sensors.to_string())
+
+    # --- The query Q1 -----------------------------------------------------
+    query = parse_query("SELECT avg(temp) FROM sensors GROUP BY time").to_query()
+    results = query.execute(sensors)
+    print("\nQuery results (paper Table 2):")
+    print(results.to_string())
+
+    # --- The user's annotations -------------------------------------------
+    # 12PM and 1PM look too high (error vector +1); 11AM is normal.
+    problem = ScorpionQuery(
+        table=sensors,
+        query=query,
+        outliers=["12PM", "1PM"],
+        holdouts=["11AM"],
+        error_vectors=+1.0,
+        c=0.5,
+    )
+
+    # --- Ask Scorpion ------------------------------------------------------
+    scorpion = Scorpion(partitioner=None, algorithm="naive", top_k=3)
+    result = scorpion.explain(problem)
+    print(f"\nScorpion ({result.algorithm}) explanations:")
+    for rank, explanation in enumerate(result.explanations, start=1):
+        print(f"  {rank}. {explanation.predicate}"
+              f"   (influence {explanation.influence:.3f},"
+              f" matches {explanation.n_matched} rows)")
+
+    best = result.best
+    print("\nAggregates after deleting the top explanation's tuples:")
+    for key, value in sorted(best.updated_outliers.items()):
+        print(f"  outlier  {key[0]:>5}: {value:.2f}  (was "
+              f"{problem.results.by_key(key).value:.2f})")
+    for key, value in sorted(best.updated_holdouts.items()):
+        print(f"  hold-out {key[0]:>5}: {value:.2f}  (was "
+              f"{problem.results.by_key(key).value:.2f})")
+    print("\nThe outliers return to ~35°C while the hold-out barely moves —")
+    print("the low-voltage sensor-3 readings explain the anomaly.")
+
+
+if __name__ == "__main__":
+    main()

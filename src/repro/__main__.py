@@ -1,0 +1,7 @@
+"""``python -m repro`` — the Scorpion command line (see repro.cli)."""
+
+import sys
+
+from repro.cli import run
+
+sys.exit(run())

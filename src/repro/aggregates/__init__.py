@@ -1,0 +1,45 @@
+"""Aggregate-function framework (paper Section 5).
+
+Scorpion works with arbitrary user-defined aggregates but exploits three
+optional operator properties for efficiency:
+
+* **incrementally removable** (Section 5.1): the aggregate decomposes into
+  ``state`` / ``update`` / ``remove`` / ``recover`` so a predicate's effect
+  can be evaluated from the removed tuples alone;
+* **independent** (Section 5.2): tuples influence the result independently,
+  enabling the DT partitioner;
+* **anti-monotonic** (Section 5.3): the ``check(D)`` hook declares when
+  ``Δ`` is anti-monotone over predicate containment, enabling MC pruning.
+
+Standard aggregates: SUM, COUNT, AVG, STDDEV, VARIANCE (incrementally
+removable + independent), MIN, MAX, MEDIAN (black-box).
+"""
+
+from repro.aggregates.base import AggregateFunction, LinearStateAggregate
+from repro.aggregates.registry import get_aggregate, list_aggregates, register_aggregate
+from repro.aggregates.standard import (
+    Avg,
+    Count,
+    Max,
+    Median,
+    Min,
+    StdDev,
+    Sum,
+    Variance,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "LinearStateAggregate",
+    "Avg",
+    "Count",
+    "Max",
+    "Median",
+    "Min",
+    "StdDev",
+    "Sum",
+    "Variance",
+    "get_aggregate",
+    "list_aggregates",
+    "register_aggregate",
+]

@@ -1,0 +1,182 @@
+"""Aggregate-function protocol and the incrementally-removable state API.
+
+An aggregate maps a one-dimensional float array to a scalar.  The base
+class :class:`AggregateFunction` is deliberately black-box: Scorpion's
+NAIVE pipeline only ever calls :meth:`AggregateFunction.compute`.  The
+three property hooks below unlock the efficient algorithms:
+
+``is_independent``
+    Declares the Section 5.2 independence property of ``Δ``; the DT
+    partitioner requires it.
+
+``check(values)``
+    Declares the Section 5.3 anti-monotonicity of ``Δ`` *for this input*
+    (e.g. SUM is anti-monotone only over non-negative data); the MC
+    partitioner requires it.
+
+``state / update / remove / recover``
+    The Section 5.1 incrementally-removable decomposition.  Aggregates
+    advertising ``is_incrementally_removable`` must make
+    ``recover(remove(state(D), state(S))) == compute(D - S)`` hold for
+    any subset ``S`` of ``D``.
+
+:class:`LinearStateAggregate` implements the decomposition for the common
+case where the state is an additive vector of per-tuple contributions
+(SUM/COUNT/AVG/STDDEV/VARIANCE are all of this shape); subclasses provide
+only the per-tuple state rows and the ``recover`` formula.  The additive
+shape also gives a *vectorized* path: :meth:`tuple_states` returns an
+``(n, k)`` matrix whose masked column-sums are subset states, which is
+what lets the Scorer evaluate thousands of candidate predicates without
+touching the raw data again.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import AggregateError
+
+
+class AggregateFunction(abc.ABC):
+    """A scalar aggregate over a float array, with optional properties."""
+
+    #: SQL-ish name used by the registry and the mini SQL parser.
+    name: str = "aggregate"
+    #: Section 5.2 — tuples influence the result independently.
+    is_independent: bool = False
+    #: Section 5.1 — the state/update/remove/recover decomposition exists.
+    is_incrementally_removable: bool = False
+
+    # ------------------------------------------------------------------
+    # Black-box interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compute(self, values: np.ndarray) -> float:
+        """The aggregate of ``values``.
+
+        Raises :class:`AggregateError` when the aggregate is undefined on
+        empty input (AVG, STDDEV, MIN, MAX, MEDIAN).
+        """
+
+    def check(self, values: np.ndarray) -> bool:
+        """Whether ``Δ`` is anti-monotone over predicate containment on
+        this input (Section 5.3).  Defaults to False (no pruning)."""
+        return False
+
+    #: Value of the aggregate on an empty input, or None when undefined.
+    empty_value: float | None = None
+
+    # ------------------------------------------------------------------
+    # Incrementally removable decomposition (Section 5.1)
+    # ------------------------------------------------------------------
+    def state(self, values: np.ndarray) -> np.ndarray:
+        """Constant-size state summarizing ``values``."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    def update(self, *states: np.ndarray) -> np.ndarray:
+        """Combine states of non-overlapping subsets into one."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    def remove(self, state_d: np.ndarray, state_s: np.ndarray) -> np.ndarray:
+        """State of ``D - S`` given states of ``D`` and ``S ⊆ D``."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    def recover(self, state: np.ndarray) -> float:
+        """The aggregate value represented by ``state``."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        """Per-tuple states as an ``(n, k)`` matrix (vectorized path)."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        """Recover many states at once: ``(m, k)`` state matrix → ``(m,)``
+        values.  Rows describing empty subsets recover NaN rather than
+        raising, so callers can mark them invalid in bulk."""
+        raise AggregateError(f"{self.name} is not incrementally removable")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class LinearStateAggregate(AggregateFunction):
+    """Incrementally removable aggregates with additive vector states.
+
+    Subclasses implement :meth:`tuple_states` (each row is the state of a
+    single tuple) and :meth:`recover`; ``state``, ``update`` and
+    ``remove`` follow from additivity.  The last state component must be
+    the tuple count so ``remove`` can detect over-removal.
+    """
+
+    is_incrementally_removable = True
+    #: Number of state components, count last.
+    state_size: int = 2
+
+    @abc.abstractmethod
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        """Per-tuple state rows; shape ``(len(values), state_size)``."""
+
+    @abc.abstractmethod
+    def recover(self, state: np.ndarray) -> float:
+        """Aggregate value of the subset summarized by ``state``."""
+
+    def state(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            return np.zeros(self.state_size, dtype=np.float64)
+        return self.tuple_states(values).sum(axis=0)
+
+    def update(self, *states: np.ndarray) -> np.ndarray:
+        if not states:
+            return np.zeros(self.state_size, dtype=np.float64)
+        out = np.zeros(self.state_size, dtype=np.float64)
+        for part in states:
+            part = np.asarray(part, dtype=np.float64)
+            if part.shape != (self.state_size,):
+                raise AggregateError(
+                    f"{self.name} state must have shape ({self.state_size},), got {part.shape}"
+                )
+            out += part
+        return out
+
+    def remove(self, state_d: np.ndarray, state_s: np.ndarray) -> np.ndarray:
+        state_d = np.asarray(state_d, dtype=np.float64)
+        state_s = np.asarray(state_s, dtype=np.float64)
+        result = state_d - state_s
+        count = result[-1]
+        if count < -1e-9:
+            raise AggregateError(
+                f"{self.name}.remove would leave a negative count ({count}); "
+                "the removed set is not a subset of the dataset"
+            )
+        return result
+
+    def compute(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            if self.empty_value is None:
+                raise AggregateError(f"{self.name} is undefined on empty input")
+            return self.empty_value
+        return self.recover(self.state(values))
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        """Default batch recovery: loop over rows, mapping undefined
+        (empty-subset) states to NaN.  Subclasses override with closed
+        numpy forms."""
+        states = np.asarray(states, dtype=np.float64)
+        out = np.empty(len(states), dtype=np.float64)
+        for i, row in enumerate(states):
+            try:
+                out[i] = self.recover(row)
+            except AggregateError:
+                out[i] = np.nan
+        return out

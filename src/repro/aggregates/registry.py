@@ -1,0 +1,47 @@
+"""Name → aggregate registry.
+
+Used by the mini SQL parser (``avg(temp)`` → :class:`Avg`) and by users
+plugging in custom aggregates.  Registration is by instance; lookups are
+case-insensitive.
+"""
+
+from __future__ import annotations
+
+from repro.aggregates.base import AggregateFunction
+from repro.aggregates.standard import Avg, Count, Max, Median, Min, StdDev, Sum, Variance
+from repro.errors import AggregateError
+
+_REGISTRY: dict[str, AggregateFunction] = {}
+
+
+def register_aggregate(aggregate: AggregateFunction, replace: bool = False) -> None:
+    """Register ``aggregate`` under its ``name``.
+
+    Raises :class:`AggregateError` if the name is taken and ``replace`` is
+    False — silently shadowing a built-in would change query semantics.
+    """
+    key = aggregate.name.lower()
+    if key in _REGISTRY and not replace:
+        raise AggregateError(
+            f"aggregate {aggregate.name!r} is already registered; pass replace=True"
+        )
+    _REGISTRY[key] = aggregate
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up an aggregate by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise AggregateError(
+            f"unknown aggregate {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_aggregates() -> list[str]:
+    """Sorted names of all registered aggregates."""
+    return sorted(_REGISTRY)
+
+
+for _agg in (Sum(), Count(), Avg(), Variance(), StdDev(), Min(), Max(), Median()):
+    register_aggregate(_agg)

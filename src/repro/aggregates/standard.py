@@ -1,0 +1,175 @@
+"""Standard aggregate functions with their Scorpion properties.
+
+Property assignments follow the paper directly:
+
+* Section 5.1: "COUNT and SUM based arithmetic expressions, such as AVG,
+  STDDEV and VARIANCE are incrementally removable"; MIN/MAX/MEDIAN are
+  not.
+* Section 5.2: the DT algorithm "exploits this [independence] property
+  for aggregates such as AVG and STDDEV"; SUM/COUNT are used with both
+  DT and MC in the experiments, so they are independent too.
+* Section 5.3: ``COUNT.check(D) = True``, ``MAX.check(D) = True``,
+  ``SUM.check(D) = (no negative values)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregates.base import AggregateFunction, LinearStateAggregate
+from repro.errors import AggregateError
+
+
+class Sum(LinearStateAggregate):
+    """SUM — incrementally removable, independent, anti-monotone on
+    non-negative data."""
+
+    name = "sum"
+    is_independent = True
+    state_size = 2  # [sum, count]
+    empty_value = 0.0
+
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.column_stack([values, np.ones_like(values)])
+
+    def recover(self, state: np.ndarray) -> float:
+        return float(state[0])
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.asarray(states, dtype=np.float64)[:, 0].copy()
+
+    def check(self, values: np.ndarray) -> bool:
+        """Anti-monotone iff the data satisfies the non-negativity
+        constraint (paper Section 5.3)."""
+        values = np.asarray(values, dtype=np.float64)
+        return bool(np.all(values >= 0))
+
+
+class Count(LinearStateAggregate):
+    """COUNT — incrementally removable, independent, always anti-monotone."""
+
+    name = "count"
+    is_independent = True
+    state_size = 1  # [count]
+    empty_value = 0.0
+
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.ones((len(values), 1), dtype=np.float64)
+
+    def recover(self, state: np.ndarray) -> float:
+        return float(state[0])
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.asarray(states, dtype=np.float64)[:, 0].copy()
+
+    def check(self, values: np.ndarray) -> bool:
+        return True
+
+
+class Avg(LinearStateAggregate):
+    """AVG — incrementally removable and independent (paper Section 5.1
+    gives its state/update/remove/recover decomposition explicitly)."""
+
+    name = "avg"
+    is_independent = True
+    state_size = 2  # [sum, count]
+
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.column_stack([values, np.ones_like(values)])
+
+    def recover(self, state: np.ndarray) -> float:
+        count = state[1]
+        if count <= 0:
+            raise AggregateError("avg is undefined on empty input")
+        return float(state[0] / count)
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=np.float64)
+        counts = states[:, 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = states[:, 0] / counts
+        out[counts <= 0] = np.nan
+        return out
+
+
+class Variance(LinearStateAggregate):
+    """Population VARIANCE — state ``[sum, sum of squares, count]``."""
+
+    name = "variance"
+    is_independent = True
+    state_size = 3
+
+    def tuple_states(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.column_stack([values, values * values, np.ones_like(values)])
+
+    def recover(self, state: np.ndarray) -> float:
+        total, total_sq, count = state
+        if count <= 0:
+            raise AggregateError("variance is undefined on empty input")
+        mean = total / count
+        # Clamp tiny negatives introduced by floating-point cancellation.
+        return float(max(total_sq / count - mean * mean, 0.0))
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=np.float64)
+        counts = states[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = states[:, 0] / counts
+            out = np.maximum(states[:, 1] / counts - means * means, 0.0)
+        out[counts <= 0] = np.nan
+        return out
+
+
+class StdDev(Variance):
+    """Population STDDEV — the paper's Intel workloads aggregate."""
+
+    name = "stddev"
+
+    def recover(self, state: np.ndarray) -> float:
+        return float(np.sqrt(super().recover(state)))
+
+    def recover_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.sqrt(super().recover_batch(states))
+
+
+class Min(AggregateFunction):
+    """MIN — black-box: not incrementally removable (Section 5.1)."""
+
+    name = "min"
+
+    def compute(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            raise AggregateError("min is undefined on empty input")
+        return float(np.min(values))
+
+
+class Max(AggregateFunction):
+    """MAX — black-box, but ``Δ`` is anti-monotone (Section 5.3)."""
+
+    name = "max"
+
+    def compute(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            raise AggregateError("max is undefined on empty input")
+        return float(np.max(values))
+
+    def check(self, values: np.ndarray) -> bool:
+        return True
+
+
+class Median(AggregateFunction):
+    """MEDIAN — black-box: not incrementally removable (Section 5.1)."""
+
+    name = "median"
+
+    def compute(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            raise AggregateError("median is undefined on empty input")
+        return float(np.median(values))

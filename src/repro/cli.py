@@ -1,0 +1,142 @@
+"""Command-line interface: Scorpion over a CSV file.
+
+Example::
+
+    python -m repro \
+        --csv readings.csv \
+        --query "SELECT avg(temp) FROM readings GROUP BY time" \
+        --outliers 12PM,1PM --holdouts 11AM \
+        --direction high --c 0.5 --top-k 3
+
+The group keys in ``--outliers`` / ``--holdouts`` are matched against
+the group-by column's values (numeric strings are coerced when the
+column is numeric).  ``--explore-c`` sweeps the Section 7 knob instead
+of solving a single instance and prints the predicate ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.explore import CExplorer
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.errors import QueryError, ScorpionError
+from repro.query.sql import parse_query
+from repro.table.io import read_csv
+from repro.table.table import Table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scorpion: explain outliers in aggregate query results.",
+    )
+    parser.add_argument("--csv", required=True,
+                        help="input CSV file (header row required)")
+    parser.add_argument("--query", required=True,
+                        help="SQL: SELECT <agg>(<col>) FROM <t> "
+                             "[WHERE ...] GROUP BY <col>")
+    parser.add_argument("--outliers", required=True,
+                        help="comma-separated group keys flagged as outliers")
+    parser.add_argument("--holdouts", default="",
+                        help="comma-separated group keys flagged as normal")
+    parser.add_argument("--direction", choices=["high", "low"], default="high",
+                        help="are the outliers too high or too low? "
+                             "(error vector; default: high)")
+    parser.add_argument("--c", type=float, default=0.5,
+                        help="selectivity knob, 0 = coarse, 1 = selective "
+                             "(paper Section 7; default 0.5)")
+    parser.add_argument("--lam", type=float, default=0.5,
+                        help="outlier-vs-holdout weight λ (default 0.5)")
+    parser.add_argument("--algorithm", choices=["auto", "dt", "mc", "naive"],
+                        default="auto")
+    parser.add_argument("--ignore", default="",
+                        help="comma-separated attributes to exclude from "
+                             "explanations")
+    parser.add_argument("--top-k", type=int, default=3,
+                        help="number of explanations to print (default 3)")
+    parser.add_argument("--explore-c", action="store_true",
+                        help="sweep c and print the predicate ladder "
+                             "instead of solving one instance")
+    return parser
+
+
+def _split_keys(raw: str) -> list[str]:
+    return [key.strip() for key in raw.split(",") if key.strip()]
+
+
+def _coerce_keys(keys: Sequence[str], table: Table, column: str) -> list:
+    """Match CLI strings against the group-by column's value types."""
+    spec = table.schema[column]
+    if spec.is_continuous:
+        return [float(key) for key in keys]
+    sample = {type(v) for v in table.column(column).values[:100]}
+    coerced: list = []
+    for key in keys:
+        if str in sample:
+            coerced.append(key)
+        elif int in sample:
+            coerced.append(int(key))
+        elif float in sample:
+            coerced.append(float(key))
+        else:
+            coerced.append(key)
+    return coerced
+
+
+def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        table = read_csv(args.csv)
+        parsed = parse_query(args.query)
+        query = parsed.to_query()
+        group_column = query.group_by[0]
+        outliers = _coerce_keys(_split_keys(args.outliers), table, group_column)
+        holdouts = _coerce_keys(_split_keys(args.holdouts), table, group_column)
+        if not outliers:
+            raise QueryError("--outliers must name at least one group key")
+        problem = ScorpionQuery(
+            table=table,
+            query=query,
+            outliers=outliers,
+            holdouts=holdouts,
+            error_vectors=+1.0 if args.direction == "high" else -1.0,
+            lam=args.lam,
+            c=args.c,
+            ignore=_split_keys(args.ignore),
+        )
+        scorpion = Scorpion(algorithm=args.algorithm, top_k=args.top_k)
+        if args.explore_c:
+            exploration = CExplorer(scorpion).explore(problem)
+            print(exploration.to_string(), file=out)
+            return 0
+        result = scorpion.explain(problem)
+        print(f"algorithm: {result.algorithm}  "
+              f"({result.elapsed:.2f}s, {result.n_candidates} candidates)",
+              file=out)
+        if not result.explanations:
+            print("no influential predicate found", file=out)
+            return 1
+        for rank, explanation in enumerate(result.explanations, start=1):
+            print(f"{rank}. {explanation}", file=out)
+        best = result.best
+        print("updated outputs with the top predicate's tuples removed:",
+              file=out)
+        for key, value in sorted(best.updated_outliers.items(), key=repr):
+            original = problem.results.by_key(key).value
+            print(f"  outlier  {key}: {original:.4g} -> {value:.4g}", file=out)
+        for key, value in sorted(best.updated_holdouts.items(), key=repr):
+            original = problem.results.by_key(key).value
+            print(f"  hold-out {key}: {original:.4g} -> {value:.4g}", file=out)
+        return 0
+    except (ScorpionError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run())

@@ -1,0 +1,19 @@
+"""CLIQUE-style subspace clustering substrate (paper Section 6.2 cites
+Agrawal et al. [1]).
+
+The MC partitioner adapts this algorithm from density to influence; the
+classic density-driven version lives here as an independently usable
+(and independently tested) substrate, and as the baseline for the MC
+ablation benchmark: grid the space, find dense units bottom-up with the
+Apriori-style join, and merge adjacent dense units into clusters.
+"""
+
+from repro.clustering.clique import Clique, CliqueCluster
+from repro.clustering.units import GridUnit, grid_units
+
+__all__ = [
+    "Clique",
+    "CliqueCluster",
+    "GridUnit",
+    "grid_units",
+]

@@ -1,0 +1,125 @@
+"""The classic CLIQUE subspace-clustering algorithm [Agrawal et al.].
+
+Bottom-up search for dense subspaces: start from 1-dimensional grid
+units, keep those whose density clears the threshold, join surviving
+pairs that share all but one attribute (Apriori-style — density is
+anti-monotone, so a dense unit's projections must all be dense), and
+repeat until no dense units remain.  Finally, adjacent dense units of
+the same subspace are merged into clusters.
+
+This is the algorithm the MC partitioner (Section 6.2) adapts from
+density to influence; it also serves as the density-only baseline in
+``benchmarks/bench_ablation_clique.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.units import GridUnit, grid_units, unit_predicate
+from repro.errors import PartitionerError
+from repro.predicates.predicate import Predicate
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class CliqueCluster:
+    """A maximal set of adjacent dense units in one subspace."""
+
+    units: tuple[GridUnit, ...]
+    predicate: Predicate
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.units[0].attributes
+
+    @property
+    def support(self) -> frozenset:
+        out: frozenset = frozenset()
+        for unit in self.units:
+            out = out | unit.support
+        return out
+
+
+class Clique:
+    """Dense-subspace search over a table.
+
+    Parameters
+    ----------
+    density_threshold:
+        Minimum fraction of rows a unit must contain to be dense.
+    n_bins:
+        Equi-width bins per continuous attribute.
+    max_dimensionality:
+        Stop after subspaces of this many attributes.
+    """
+
+    def __init__(self, density_threshold: float = 0.05, n_bins: int = 10,
+                 max_dimensionality: int | None = None):
+        if not 0 < density_threshold <= 1:
+            raise PartitionerError("density_threshold must be in (0, 1]")
+        self.density_threshold = density_threshold
+        self.n_bins = n_bins
+        self.max_dimensionality = max_dimensionality
+
+    def fit(self, table: Table, attributes: list[str]) -> list[CliqueCluster]:
+        """All clusters of dense units, across every dense subspace."""
+        total = len(table)
+        units, discretizers = grid_units(table, attributes, self.n_bins)
+        dense = [u for u in units if u.density(total) >= self.density_threshold]
+        clusters: list[CliqueCluster] = []
+        max_dim = self.max_dimensionality or len(attributes)
+        dimension = 1
+        while dense and dimension <= max_dim:
+            clusters.extend(self._merge_adjacent(dense, table, discretizers))
+            if dimension == max_dim:
+                break
+            dense = self._join_level(dense, total)
+            dimension += 1
+        return clusters
+
+    def _join_level(self, dense: list[GridUnit], total: int) -> list[GridUnit]:
+        by_subspace: dict[tuple[str, ...], list[GridUnit]] = {}
+        for unit in dense:
+            by_subspace.setdefault(unit.attributes, []).append(unit)
+        produced: dict[tuple, GridUnit] = {}
+        subspaces = list(by_subspace)
+        for i, space_a in enumerate(subspaces):
+            for space_b in subspaces[i:]:
+                combined = set(space_a) | set(space_b)
+                if len(combined) != len(space_a) + 1:
+                    continue
+                for unit_a in by_subspace[space_a]:
+                    for unit_b in by_subspace[space_b]:
+                        joined = unit_a.join(unit_b)
+                        if joined is None:
+                            continue
+                        if joined.density(total) < self.density_threshold:
+                            continue
+                        produced.setdefault(joined.keys, joined)
+        return list(produced.values())
+
+    def _merge_adjacent(self, dense: list[GridUnit], table: Table,
+                        discretizers) -> list[CliqueCluster]:
+        """Greedy connected components over unit adjacency."""
+        remaining = list(dense)
+        clusters = []
+        while remaining:
+            component = [remaining.pop()]
+            changed = True
+            while changed:
+                changed = False
+                still_out = []
+                for unit in remaining:
+                    if any(unit.is_adjacent_to(member) for member in component):
+                        component.append(unit)
+                        changed = True
+                    else:
+                        still_out.append(unit)
+                remaining = still_out
+            predicate = unit_predicate(component[0], table, discretizers)
+            for unit in component[1:]:
+                predicate = predicate.merge(
+                    unit_predicate(unit, table, discretizers))
+            clusters.append(CliqueCluster(tuple(component), predicate))
+        return clusters

@@ -1,0 +1,36 @@
+"""Scorpion's core: the influential-predicates search (paper Sections 3–7).
+
+Pipeline (Figure 2): the :class:`~repro.core.problem.ScorpionQuery`
+captures the user's annotated query; the
+:class:`~repro.core.influence.InfluenceScorer` evaluates predicate
+influence; a partitioner (:mod:`~repro.core.naive`, :mod:`~repro.core.dt`
+or :mod:`~repro.core.mc`) generates candidate predicates; the
+:class:`~repro.core.merger.Merger` coarsens them; and
+:class:`~repro.core.scorpion.Scorpion` orchestrates the whole search and
+returns ranked :class:`~repro.core.scorpion.Explanation` objects.
+"""
+
+from repro.core.dt import DTPartitioner
+from repro.core.explore import CExploration, CExplorer, LadderStep
+from repro.core.influence import GroupContext, InfluenceScorer
+from repro.core.mc import MCPartitioner
+from repro.core.merger import Merger
+from repro.core.naive import NaivePartitioner
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Explanation, Scorpion, ScorpionResult
+
+__all__ = [
+    "CExploration",
+    "CExplorer",
+    "DTPartitioner",
+    "Explanation",
+    "GroupContext",
+    "InfluenceScorer",
+    "LadderStep",
+    "MCPartitioner",
+    "Merger",
+    "NaivePartitioner",
+    "Scorpion",
+    "ScorpionQuery",
+    "ScorpionResult",
+]

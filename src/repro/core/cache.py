@@ -1,0 +1,109 @@
+"""Cross-``c`` result caching (paper Section 8.3.3).
+
+Users explore different values of the Section 7 knob ``c`` interactively
+(e.g. a UI slider).  Two observations make that cheap:
+
+* the **DT partitioning is agnostic to ``c``** — per-tuple influence
+  ``Δ(t)·v`` has a denominator of ``1^c`` — so its partitions (and their
+  removal statistics) can be computed once per query and reused for every
+  ``c``;
+* the **Merger runs deterministically**, and a higher ``c`` merely stops
+  merging earlier; a run at a lower ``c`` can therefore warm-start from
+  any prior higher-``c`` merge result and keep expanding.
+
+:class:`DTCache` implements both: it keys DT partitioner output by the
+query's annotation signature and remembers merge results per ``c`` so the
+next lower ``c`` run seeds the Merger with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.core.partition import CandidatePredicate, ScoredPredicate
+from repro.core.problem import ScorpionQuery
+from repro.predicates.predicate import Predicate
+
+
+def query_signature(query: ScorpionQuery) -> tuple:
+    """A key identifying everything DT output depends on — the dataset,
+    query, annotations, and λ — but *not* ``c``."""
+    return (
+        id(query.raw_table),
+        repr(query.query),
+        tuple(sorted(query.outlier_keys)),
+        tuple(sorted(query.holdout_keys)),
+        tuple(sorted(query.error_vectors.items())),
+        query.lam,
+        query.attributes,
+    )
+
+
+@dataclass
+class _Entry:
+    candidates: list[CandidatePredicate]
+    partition_elapsed: float
+    #: Merge results keyed by the ``c`` they were computed at.
+    merged_by_c: dict[float, list[ScoredPredicate]] = field(default_factory=dict)
+
+
+class DTCache:
+    """Memoizes DT partitions and Merger results across ``c`` sweeps."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, _Entry] = {}
+        self.partition_hits = 0
+        self.partition_misses = 0
+
+    def candidates(self, query: ScorpionQuery, partitioner: DTPartitioner,
+                   scorer: InfluenceScorer,
+                   ) -> tuple[list[CandidatePredicate], float]:
+        """DT candidates for ``query`` plus the partitioning seconds this
+        call actually spent (0.0 on cache hits)."""
+        key = query_signature(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.partition_misses += 1
+            result = partitioner.run(query, scorer)
+            entry = _Entry(result.candidates, result.elapsed)
+            self._entries[key] = entry
+            return entry.candidates, entry.partition_elapsed
+        self.partition_hits += 1
+        return entry.candidates, 0.0
+
+    #: Warm starts resume from this many of the previous run's best
+    #: predicates — expanding the full result list would cost as much as
+    #: merging from scratch.
+    max_seeds = 10
+
+    def merger_seeds(self, query: ScorpionQuery) -> list[Predicate] | None:
+        """Warm-start predicates: the best merge results of the smallest
+        previously solved ``c`` that is still above ``query.c``.
+
+        Merging monotonically coarsens as ``c`` decreases, so resuming
+        from the nearest higher-``c`` result skips the merge prefix both
+        runs share.
+        """
+        entry = self._entries.get(query_signature(query))
+        if entry is None:
+            return None
+        higher = [c for c in entry.merged_by_c if c > query.c]
+        if not higher:
+            return None
+        nearest = min(higher)
+        return [sp.predicate
+                for sp in entry.merged_by_c[nearest][: self.max_seeds]]
+
+    def store_merged(self, query: ScorpionQuery,
+                     merged: list[ScoredPredicate]) -> None:
+        """Record a merge result for :meth:`merger_seeds` reuse."""
+        entry = self._entries.get(query_signature(query))
+        if entry is not None:
+            entry.merged_by_c[query.c] = list(merged)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.partition_hits = 0
+        self.partition_misses = 0

@@ -1,0 +1,420 @@
+"""Predicate influence — the Scorer of Figure 2 (paper Sections 3.2, 5.1, 7).
+
+Definitions implemented here, with ``v`` the error vector, ``λ`` the
+hold-out weight and ``c`` the Section 7 knob::
+
+    Δ(o, p)          = agg(g_o) − agg(g_o − p(g_o))
+    inf(o, p, v, c)  = (Δ(o, p) / |p(g_o)|^c) · v
+    inf(O, H, p, V)  = λ · (1/|O|) Σ_o inf(o, p, v_o, c)
+                       − (1−λ) · max_h |inf(h, p, 1, c_holdout)|
+
+Two evaluation paths:
+
+* **black box** — recompute the aggregate on ``g_o − p(g_o)``; works for
+  any :class:`~repro.aggregates.base.AggregateFunction`;
+* **incrementally removable** (Section 5.1) — cache per-group total
+  states and per-tuple state rows once; a predicate's Δ is then
+  ``recover(total) − recover(total − Σ_{t ∈ p(g)} state(t))``, touching
+  only the matched rows.
+
+Both paths share the same edge-case policy: a predicate matching no rows
+of a group has zero influence there, and a predicate deleting an *entire*
+group whose aggregate has no empty value yields ``-inf`` (the output row
+would vanish rather than look normal; see DESIGN.md §4 item 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregates.base import AggregateFunction
+from repro.core.problem import ScorpionQuery
+from repro.errors import AggregateError
+from repro.predicates.evaluator import ArrayMaskEvaluator
+from repro.predicates.predicate import Predicate
+
+INVALID_INFLUENCE = float("-inf")
+
+
+@dataclass
+class GroupContext:
+    """Cached evaluation state for one input group ``g_αi``.
+
+    Attributes
+    ----------
+    key:
+        The group's group-by key.
+    indices:
+        Row positions of the group inside the full input table ``D``.
+    agg_values:
+        The group's aggregate-attribute values (``π_Aagg g``).
+    total_value:
+        ``agg(g)`` — the group's original output.
+    error_vector:
+        ``v_o`` for outlier groups; 1.0 for hold-out groups.
+    is_outlier:
+        Whether the group belongs to ``O`` (else ``H``).
+    total_state / tuple_states:
+        Incremental-removal caches (None for black-box aggregates).
+    """
+
+    key: tuple
+    indices: np.ndarray
+    agg_values: np.ndarray
+    total_value: float
+    error_vector: float
+    is_outlier: bool
+    total_state: np.ndarray | None = None
+    tuple_states: np.ndarray | None = field(default=None, repr=False)
+    #: State of one mean-valued tuple (only for the "mean" perturbation).
+    mean_state: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def mean_value(self) -> float:
+        return float(np.mean(self.agg_values)) if self.size else float("nan")
+
+
+@dataclass
+class ScorerStats:
+    """Operation counters, used by the benchmarks to show what the
+    incrementally-removable property saves."""
+
+    predicate_scores: int = 0
+    mask_scores: int = 0
+    incremental_deltas: int = 0
+    full_recomputes: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.predicate_scores = 0
+        self.mask_scores = 0
+        self.incremental_deltas = 0
+        self.full_recomputes = 0
+        self.cache_hits = 0
+
+
+class InfluenceScorer:
+    """Evaluates the paper's influence metric for candidate predicates.
+
+    Parameters
+    ----------
+    query:
+        The fully validated :class:`~repro.core.problem.ScorpionQuery`.
+    use_incremental:
+        Exploit the incrementally-removable property when the aggregate
+        advertises it (on by default; benchmarks toggle it off to measure
+        the property's benefit).
+    cache_scores:
+        Memoize predicate → influence (predicates are hashable and the
+        Merger re-scores candidates freely).
+    """
+
+    def __init__(self, query: ScorpionQuery, use_incremental: bool = True,
+                 cache_scores: bool = True):
+        self.query = query
+        self.aggregate: AggregateFunction = query.aggregate
+        self.lam = query.lam
+        self.c = query.c
+        self.c_holdout = query.c_holdout
+        self.perturbation = query.perturbation
+        self.table = query.table
+        self.stats = ScorerStats()
+        self._incremental = bool(
+            use_incremental and self.aggregate.is_incrementally_removable
+        )
+        self._score_cache: dict[Predicate, float] | None = {} if cache_scores else None
+        self._outlier_score_cache: dict[Predicate, float] | None = (
+            {} if cache_scores else None
+        )
+        self._tuple_influence_cache: dict[int, np.ndarray] = {}
+
+        agg_values = self.table.values(query.agg_column)
+        self.outlier_contexts: list[GroupContext] = []
+        self.holdout_contexts: list[GroupContext] = []
+        for result in query.outlier_results:
+            self.outlier_contexts.append(self._build_context(
+                result, agg_values, query.error_vectors[result.key], is_outlier=True))
+        for result in query.holdout_results:
+            self.holdout_contexts.append(self._build_context(
+                result, agg_values, 1.0, is_outlier=False))
+        # Influence only depends on labeled rows, so predicates are
+        # evaluated against this much smaller concatenated slice of D.
+        self._labeled_slices: list[tuple[GroupContext, int, int]] = []
+        offset = 0
+        for context in self.contexts:
+            self._labeled_slices.append((context, offset, offset + context.size))
+            offset += context.size
+        labeled_rows = np.concatenate([ctx.indices for ctx in self.contexts])
+        self._labeled_evaluator = ArrayMaskEvaluator({
+            attr: self.table.values(attr)[labeled_rows]
+            for attr in query.attributes
+        })
+        self._n_labeled = offset
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_context(self, result, agg_values: np.ndarray, error_vector: float,
+                       is_outlier: bool) -> GroupContext:
+        group_values = agg_values[result.indices]
+        context = GroupContext(
+            key=result.key,
+            indices=result.indices,
+            agg_values=group_values,
+            total_value=float(result.value),
+            error_vector=float(error_vector),
+            is_outlier=is_outlier,
+        )
+        if self._incremental:
+            context.tuple_states = self.aggregate.tuple_states(group_values)
+            context.total_state = context.tuple_states.sum(axis=0)
+            if self.perturbation == "mean":
+                mean = float(np.mean(group_values))
+                context.mean_state = self.aggregate.tuple_states(
+                    np.asarray([mean]))[0]
+        return context
+
+    @property
+    def contexts(self) -> list[GroupContext]:
+        return self.outlier_contexts + self.holdout_contexts
+
+    @property
+    def uses_incremental(self) -> bool:
+        return self._incremental
+
+    # ------------------------------------------------------------------
+    # Δ computation
+    # ------------------------------------------------------------------
+    def updated_from_removed(self, context: GroupContext,
+                             removed_state: np.ndarray,
+                             removed_count: float) -> float:
+        """The group's aggregate value after the predicate acts on rows
+        whose summed state is ``removed_state``.
+
+        Encapsulates the perturbation semantics for every state-based
+        caller (the Merger's approximation and MC's support index as well
+        as :meth:`delta`): ``delete`` removes the state outright; ``mean``
+        replaces it with ``removed_count`` mean-valued tuples.  Returns
+        NaN when the result is undefined (delete mode emptying a group).
+        """
+        assert context.total_state is not None
+        if self.perturbation == "mean":
+            assert context.mean_state is not None
+            adjusted = (context.total_state - removed_state
+                        + removed_count * context.mean_state)
+            return float(self.aggregate.recover_batch(
+                adjusted[np.newaxis, :])[0])
+        remaining = context.total_state - removed_state
+        if remaining[-1] < 0.5:  # deleted the whole group
+            empty = self.aggregate.empty_value
+            return float("nan") if empty is None else float(empty)
+        return float(self.aggregate.recover_batch(remaining[np.newaxis, :])[0])
+
+    def delta(self, context: GroupContext, local_mask: np.ndarray) -> float:
+        """``Δ(o, p) = agg(g) − agg(g ⊖ p(g))`` for one group, where ``⊖``
+        deletes or mean-imputes the matched rows per the problem's
+        perturbation mode.
+
+        ``local_mask`` selects the matched rows within the group.
+        Returns NaN when the perturbation leaves the aggregate undefined
+        (delete mode emptying an AVG/STDDEV group); callers map that to
+        ``-inf`` influence.
+        """
+        removed = int(np.count_nonzero(local_mask))
+        if removed == 0:
+            return 0.0
+        if self._incremental:
+            self.stats.incremental_deltas += 1
+            assert context.tuple_states is not None
+            removed_state = context.tuple_states[local_mask].sum(axis=0)
+            updated = self.updated_from_removed(context, removed_state, removed)
+            if np.isnan(updated):
+                return float("nan")
+        else:
+            self.stats.full_recomputes += 1
+            try:
+                if self.perturbation == "mean":
+                    modified = context.agg_values.copy()
+                    modified[local_mask] = context.mean_value
+                    updated = self.aggregate.compute(modified)
+                else:
+                    updated = self.aggregate.compute(
+                        context.agg_values[~local_mask])
+            except AggregateError:
+                return float("nan")
+        return context.total_value - updated
+
+    def group_influence(self, context: GroupContext, local_mask: np.ndarray) -> float:
+        """``inf(o, p, v_o)`` (or the unsigned hold-out variant) for one
+        group given the rows the predicate removes."""
+        removed = int(np.count_nonzero(local_mask))
+        if removed == 0:
+            return 0.0
+        delta = self.delta(context, local_mask)
+        if np.isnan(delta):
+            return INVALID_INFLUENCE
+        exponent = self.c if context.is_outlier else self.c_holdout
+        influence = delta / (removed ** exponent)
+        if context.is_outlier:
+            return influence * context.error_vector
+        return influence
+
+    # ------------------------------------------------------------------
+    # The full metric
+    # ------------------------------------------------------------------
+    def score_mask(self, full_mask: np.ndarray, ignore_holdouts: bool = False) -> float:
+        """``inf(O, H, p, V)`` given the predicate's full-table mask."""
+        local_masks = [full_mask[context.indices] for context in self.contexts]
+        return self._score_local(local_masks, ignore_holdouts)
+
+    def _score_local(self, local_masks: list[np.ndarray],
+                     ignore_holdouts: bool) -> float:
+        """The metric given per-context removal masks (aligned with
+        :attr:`contexts`)."""
+        self.stats.mask_scores += 1
+        outlier_total = 0.0
+        worst = 0.0
+        for context, local in zip(self.contexts, local_masks):
+            if not context.is_outlier and (ignore_holdouts or not self.holdout_contexts):
+                continue
+            influence = self.group_influence(context, local)
+            if influence == INVALID_INFLUENCE:
+                return INVALID_INFLUENCE
+            if context.is_outlier:
+                outlier_total += influence
+            else:
+                worst = max(worst, abs(influence))
+        score = self.lam * outlier_total / max(len(self.outlier_contexts), 1)
+        if ignore_holdouts or not self.holdout_contexts:
+            return score
+        return score - (1.0 - self.lam) * worst
+
+    def _labeled_masks(self, predicate: Predicate) -> list[np.ndarray]:
+        """Per-context removal masks, evaluating the predicate only over
+        the labeled rows (O(|g_O| + |g_H|), not O(|D|))."""
+        if any(not self._labeled_evaluator.supports(c.attribute) for c in predicate):
+            # Predicate over non-A_rest attributes (user-supplied): fall
+            # back to the full-table path.
+            full_mask = predicate.mask(self.table)
+            return [full_mask[context.indices] for context in self.contexts]
+        mask = self._labeled_evaluator.mask(predicate)
+        return [mask[start:stop] for _, start, stop in self._labeled_slices]
+
+    def score(self, predicate: Predicate, ignore_holdouts: bool = False) -> float:
+        """``inf(O, H, p, V)`` for a predicate (memoized)."""
+        self.stats.predicate_scores += 1
+        cache = self._outlier_score_cache if ignore_holdouts else self._score_cache
+        if cache is not None and predicate in cache:
+            self.stats.cache_hits += 1
+            return cache[predicate]
+        value = self._score_local(self._labeled_masks(predicate), ignore_holdouts)
+        if cache is not None:
+            cache[predicate] = value
+        return value
+
+    def outlier_only_score(self, predicate: Predicate) -> float:
+        """``inf(O, ∅, p, V)`` — MC's conservative pruning estimate
+        (Section 6.2)."""
+        return self.score(predicate, ignore_holdouts=True)
+
+    # ------------------------------------------------------------------
+    # Per-tuple influence (DT's split metric, MC's pruning bound)
+    # ------------------------------------------------------------------
+    def tuple_deltas(self, context: GroupContext) -> np.ndarray:
+        """``Δ(o, {t})`` for every tuple of the group, vectorized when the
+        aggregate is incrementally removable (O(n²) recomputes otherwise)."""
+        n = context.size
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if n == 1 and self.perturbation == "delete":
+            empty = self.aggregate.empty_value
+            if empty is None:
+                return np.asarray([np.nan])
+            return np.asarray([context.total_value - empty])
+        if self._incremental:
+            assert context.tuple_states is not None and context.total_state is not None
+            remaining = context.total_state[np.newaxis, :] - context.tuple_states
+            if self.perturbation == "mean":
+                assert context.mean_state is not None
+                remaining = remaining + context.mean_state[np.newaxis, :]
+            updated = self.aggregate.recover_batch(remaining)
+        else:
+            updated = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                if self.perturbation == "mean":
+                    modified = context.agg_values.copy()
+                    modified[i] = context.mean_value
+                    rest = modified
+                else:
+                    rest = np.delete(context.agg_values, i)
+                try:
+                    updated[i] = self.aggregate.compute(rest)
+                except AggregateError:
+                    updated[i] = np.nan
+        return context.total_value - updated
+
+    def tuple_influences(self, context: GroupContext) -> np.ndarray:
+        """Signed per-tuple influence ``inf(o, {t}, v_o)`` (error vector
+        applied for outlier groups; raw Δ for hold-outs).  Cached — the
+        pruning bounds evaluate these for every candidate predicate."""
+        cached = self._tuple_influence_cache.get(id(context))
+        if cached is not None:
+            return cached
+        deltas = self.tuple_deltas(context)
+        influences = deltas * context.error_vector if context.is_outlier else deltas
+        self._tuple_influence_cache[id(context)] = influences
+        return influences
+
+    def max_tuple_influence(self, predicate: Predicate) -> float:
+        """Largest single-tuple influence among matched outlier-group rows,
+        scaled like :meth:`outlier_only_score` scales a predicate
+        (``λ / |O|``) so the two are comparable — the paper's second MC
+        pruning bound (Section 6.2), exact for ``c = 1``."""
+        masks = self._labeled_masks(predicate)
+        best = INVALID_INFLUENCE
+        for (context, _, _), local in zip(self._labeled_slices, masks):
+            if not context.is_outlier or not np.any(local):
+                continue
+            influences = self.tuple_influences(context)[local]
+            finite = influences[~np.isnan(influences)]
+            if len(finite):
+                best = max(best, float(np.max(finite)))
+        if best == INVALID_INFLUENCE:
+            return best
+        return self.lam * best / max(len(self.outlier_contexts), 1)
+
+    def refinement_bound(self, predicate: Predicate) -> float:
+        """Upper bound on ``inf(O, ∅, p', V)`` over refinements ``p' ≺ p``.
+
+        For independent aggregates with additive Δ (SUM, COUNT — exactly
+        MC's territory), the best refinement cannot beat picking, in each
+        outlier group, the ``k`` matched tuples with the largest positive
+        influence: ``max_k (Σ top-k δ) / k^c``.  At ``c = 1`` the maximum
+        sits at ``k = 1`` and this reduces to the paper's single-tuple
+        bound; at ``c < 1`` the paper's bound is not sound and would
+        over-prune (DESIGN.md §4 item 6).
+        """
+        masks = self._labeled_masks(predicate)
+        total = 0.0
+        any_rows = False
+        for (context, _, _), local in zip(self._labeled_slices, masks):
+            if not context.is_outlier or not np.any(local):
+                continue
+            any_rows = True
+            influences = self.tuple_influences(context)[local]
+            positive = influences[np.isfinite(influences) & (influences > 0)]
+            if not len(positive):
+                continue
+            positive[::-1].sort()  # descending in place
+            prefix = np.cumsum(positive)
+            ks = np.arange(1, len(positive) + 1, dtype=np.float64)
+            total += float(np.max(prefix / ks ** self.c))
+        if not any_rows:
+            return INVALID_INFLUENCE
+        return self.lam * total / max(len(self.outlier_contexts), 1)

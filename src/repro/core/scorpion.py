@@ -1,0 +1,230 @@
+"""The Scorpion facade — Figure 2's end-to-end pipeline.
+
+``Scorpion.explain`` takes a :class:`~repro.core.problem.ScorpionQuery`
+and runs provenance → partitioner → merger → scorer, returning ranked
+:class:`Explanation` objects.  The partitioner is chosen from the
+aggregate's declared properties unless forced:
+
+* independent **and** anti-monotone on the labeled data → ``MC``;
+* independent only → ``DT``;
+* black box → ``NAIVE``.
+
+A shared :class:`~repro.core.cache.DTCache` makes repeated ``explain``
+calls that differ only in ``c`` cheap (Section 8.3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import DTCache
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.core.mc import MCPartitioner
+from repro.core.merger import Merger, MergerParams
+from repro.core.naive import NaivePartitioner
+from repro.core.partition import ScoredPredicate
+from repro.core.problem import ScorpionQuery
+from repro.errors import PartitionerError
+from repro.predicates.predicate import Predicate
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One ranked answer: a predicate and what it does to the results.
+
+    ``updated_outliers`` / ``updated_holdouts`` give each labeled group's
+    aggregate value after deleting the predicate's tuples — the "plot the
+    updated output" interaction from Section 4.1.
+    """
+
+    predicate: Predicate
+    influence: float
+    n_matched: int
+    updated_outliers: dict[tuple, float] = field(hash=False)
+    updated_holdouts: dict[tuple, float] = field(hash=False)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}  (influence={self.influence:.6g}, rows={self.n_matched})"
+
+
+@dataclass
+class ScorpionResult:
+    """Everything one ``explain`` call produced."""
+
+    explanations: list[Explanation]
+    algorithm: str
+    elapsed: float
+    partition_elapsed: float
+    merge_elapsed: float
+    n_candidates: int
+    scorer_stats: dict
+
+    @property
+    def best(self) -> Explanation | None:
+        return self.explanations[0] if self.explanations else None
+
+
+class Scorpion:
+    """End-to-end influential-predicate search.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"auto"`` (property-driven choice), ``"dt"``, ``"mc"``, or
+        ``"naive"``.
+    partitioner:
+        Pre-configured partitioner instance overriding ``algorithm``.
+    merger_params:
+        Overrides for the DT-path Merger (MC runs its own internal
+        merger; NAIVE needs none).
+    use_cache:
+        Reuse DT partitions and warm-start merges across ``c`` values.
+    top_k:
+        Number of explanations to return.
+    auto_select_attributes:
+        Drop explanation attributes whose filter relevance (Section 6.4:
+        correlation / mutual information with per-tuple influence) falls
+        below ``relevance_threshold`` before partitioning.  The paper
+        defers this to future work; it is implemented here as an
+        extension and is off by default.
+    relevance_threshold:
+        Minimum relevance an attribute must reach to be kept.
+    """
+
+    def __init__(self, algorithm: str = "auto", partitioner=None,
+                 merger_params: MergerParams | None = None,
+                 use_cache: bool = True, top_k: int = 5,
+                 auto_select_attributes: bool = False,
+                 relevance_threshold: float = 0.05):
+        if algorithm not in ("auto", "dt", "mc", "naive"):
+            raise PartitionerError(f"unknown algorithm {algorithm!r}")
+        if top_k < 1:
+            raise PartitionerError(f"top_k must be >= 1, got {top_k}")
+        self.algorithm = algorithm
+        self.partitioner = partitioner
+        self.merger_params = merger_params
+        self.use_cache = use_cache
+        self.top_k = top_k
+        self.auto_select_attributes = auto_select_attributes
+        self.relevance_threshold = relevance_threshold
+        self.cache = DTCache()
+
+    # ------------------------------------------------------------------
+    def explain(self, query: ScorpionQuery) -> ScorpionResult:
+        """Find the predicates that most influence the flagged outliers."""
+        start = time.perf_counter()
+        if self.auto_select_attributes:
+            query = self._narrow_attributes(query)
+        scorer = InfluenceScorer(query)
+        partitioner = self.partitioner or self._pick_partitioner(query, scorer)
+
+        merge_elapsed = 0.0
+        if isinstance(partitioner, DTPartitioner):
+            ranked, partition_elapsed, merge_elapsed, n_candidates = (
+                self._run_dt(query, partitioner, scorer))
+            algorithm = "dt"
+        else:
+            result = partitioner.run(query, scorer)
+            ranked = result.ranked
+            partition_elapsed = result.elapsed
+            n_candidates = result.n_evaluated
+            algorithm = partitioner.name
+
+        explanations = [self._to_explanation(sp, scorer, query)
+                        for sp in ranked[: self.top_k]]
+        return ScorpionResult(
+            explanations=explanations,
+            algorithm=algorithm,
+            elapsed=time.perf_counter() - start,
+            partition_elapsed=partition_elapsed,
+            merge_elapsed=merge_elapsed,
+            n_candidates=n_candidates,
+            scorer_stats=vars(scorer.stats).copy(),
+        )
+
+    # ------------------------------------------------------------------
+    def _narrow_attributes(self, query: ScorpionQuery) -> ScorpionQuery:
+        """The Section 6.4 extension: keep only influence-relevant
+        attributes.  Imported lazily to keep the core free of a featsel
+        dependency unless the feature is used."""
+        from repro.featsel.filters import select_attributes
+
+        selected = select_attributes(query, threshold=self.relevance_threshold)
+        if set(selected) == set(query.attributes):
+            return query
+        return ScorpionQuery(
+            table=query.raw_table,
+            query=query.query,
+            outliers=query.outlier_keys,
+            holdouts=query.holdout_keys,
+            error_vectors=query.error_vectors,
+            lam=query.lam,
+            c=query.c,
+            c_holdout=query.c_holdout,
+            attributes=tuple(selected),
+        )
+
+    def _pick_partitioner(self, query: ScorpionQuery, scorer: InfluenceScorer):
+        if self.algorithm == "dt":
+            return DTPartitioner()
+        if self.algorithm == "mc":
+            return MCPartitioner()
+        if self.algorithm == "naive":
+            return NaivePartitioner()
+        aggregate = query.aggregate
+        if aggregate.is_independent:
+            anti_monotone = all(
+                aggregate.check(ctx.agg_values) for ctx in scorer.contexts
+            )
+            if anti_monotone:
+                return MCPartitioner()
+            return DTPartitioner()
+        return NaivePartitioner()
+
+    def _run_dt(self, query: ScorpionQuery, partitioner: DTPartitioner,
+                scorer: InfluenceScorer):
+        merge_start: float
+        if self.use_cache:
+            candidates, partition_elapsed = self.cache.candidates(
+                query, partitioner, scorer)
+            seeds = self.cache.merger_seeds(query)
+        else:
+            result = partitioner.run(query, scorer)
+            candidates = result.candidates
+            seeds = None
+            partition_elapsed = result.elapsed
+        merger = Merger(scorer, query.domain, params=self.merger_params)
+        merge_start = time.perf_counter()
+        merged = merger.run(candidates, seeds=seeds)
+        merge_elapsed = time.perf_counter() - merge_start
+        if self.use_cache:
+            self.cache.store_merged(query, merged)
+        return merged, partition_elapsed, merge_elapsed, len(candidates)
+
+    # ------------------------------------------------------------------
+    def _to_explanation(self, scored: ScoredPredicate, scorer: InfluenceScorer,
+                        query: ScorpionQuery) -> Explanation:
+        predicate = query.domain.simplify(scored.predicate)
+        mask = predicate.mask(scorer.table)
+        updated_outliers = {}
+        updated_holdouts = {}
+        for context in scorer.contexts:
+            local = mask[context.indices]
+            delta = scorer.delta(context, local)
+            updated = (context.total_value - delta
+                       if np.isfinite(delta) else float("nan"))
+            if context.is_outlier:
+                updated_outliers[context.key] = updated
+            else:
+                updated_holdouts[context.key] = updated
+        return Explanation(
+            predicate=predicate,
+            influence=scored.influence,
+            n_matched=int(np.count_nonzero(mask)),
+            updated_outliers=updated_outliers,
+            updated_holdouts=updated_holdouts,
+        )

@@ -1,0 +1,252 @@
+"""Generator shaped like the FEC 2012 campaign-expense file
+(paper Section 8.1, EXPENSE).
+
+The real file (116,448 rows, 14 mostly discrete attributes, recipient
+cardinality up to 18k) is unavailable offline; this generator reproduces
+the structure the paper's analysis depends on:
+
+* daily Obama-campaign expenses from 2011-01 through 2012-07, dominated
+  by many small disbursements (payroll, travel, rent, …);
+* seven **outlier days** whose totals exceed $10M, driven by a handful
+  of huge media buys paid to ``GMMB INC.`` in Washington DC under filing
+  number 800316 with description ``MEDIA BUY`` (average ≈ $2.7M) — the
+  exact predicate Scorpion finds in Section 8.4;
+* a second, cheaper GMMB filing (800317) and other $1M-class payments
+  that give the low-``c`` runs something coarser to return;
+* twelve discrete explanation attributes with skewed cardinalities
+  (recipient names by far the largest).
+
+Query::
+
+    SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama'
+    GROUP BY date
+
+Ground truth follows the paper: all tuples with ``disb_amt > $1.5M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregates.standard import Sum
+from repro.core.problem import ScorpionQuery
+from repro.errors import DatasetError
+from repro.query.groupby import GroupByQuery
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+from repro.table.table import Table
+
+GROUND_TRUTH_AMOUNT = 1_500_000.0
+
+_DISB_DESCS = [
+    "PAYROLL", "TRAVEL", "RENT", "CATERING", "PRINTING", "POSTAGE",
+    "CONSULTING", "POLLING", "SECURITY", "OFFICE SUPPLIES", "PHONES",
+    "ONLINE ADVERTISING", "SITE RENTAL", "EQUIPMENT", "INSURANCE",
+]
+_STATES = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DC", "DE", "FL", "GA",
+    "HI", "IA", "IL", "IN", "KY", "MA", "MD", "MI", "MN", "MO", "NC",
+    "NH", "NJ", "NM", "NV", "NY", "OH", "OR", "PA", "TX", "VA", "WA", "WI",
+]
+_ORG_TYPES = ["CORPORATION", "LLC", "PARTNERSHIP", "INDIVIDUAL", "NONPROFIT"]
+_ENTITY_TYPES = ["ORG", "IND", "PAC", "PTY", "CCM"]
+_ELECTION_TYPES = ["P2012", "G2012", "O2012"]
+_MEMO_CODES = ["", "X"]
+_CATEGORIES = ["ADMINISTRATIVE", "ADVERTISING", "FUNDRAISING", "TRAVEL",
+               "SALARY", "CONTRIBUTIONS", "OTHER", "EVENTS", "MATERIALS",
+               "RESEARCH"]
+_PAYEE_TYPES = ["VENDOR", "EMPLOYEE", "CONSULTANT", "COMMITTEE", "AGENCY"]
+
+
+@dataclass(frozen=True)
+class ExpensesConfig:
+    """Parameters of the generated expense file."""
+
+    n_days: int = 240
+    rows_per_day: int = 60
+    n_recipients: int = 2000
+    n_cities: int = 100
+    n_zips: int = 100
+    n_outlier_days: int = 7
+    media_buys_per_outlier_day: int = 5
+    #: Fraction of rows belonging to other candidates (exercises WHERE).
+    other_candidate_fraction: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days < self.n_outlier_days + 27:
+            raise DatasetError(
+                "need enough days for 7 outliers plus 27 hold-outs (Section 8.1)"
+            )
+        if self.rows_per_day < 10:
+            raise DatasetError("rows_per_day must be >= 10")
+        if self.n_recipients < 10:
+            raise DatasetError("n_recipients must be >= 10")
+
+
+@dataclass
+class ExpensesDataset:
+    """A generated expense file plus the paper's workload annotations."""
+
+    config: ExpensesConfig
+    table: Table
+    outlier_keys: list[str]
+    holdout_keys: list[str]
+    #: Mask over all rows: the >$1.5M ground-truth tuples.
+    truth_mask: np.ndarray = field(repr=False)
+
+    def query(self) -> GroupByQuery:
+        """``SELECT sum(disb_amt) … WHERE candidate = 'Obama' GROUP BY date``."""
+
+        def only_obama(table: Table) -> np.ndarray:
+            return table.column("candidate").membership_mask(["Obama"])
+
+        return GroupByQuery("date", Sum(), "disb_amt", where=only_obama)
+
+    def scorpion_query(self, c: float = 0.5, lam: float = 0.5) -> ScorpionQuery:
+        return ScorpionQuery(
+            table=self.table,
+            query=self.query(),
+            outliers=self.outlier_keys,
+            holdouts=self.holdout_keys,
+            error_vectors=+1.0,
+            lam=lam,
+            c=c,
+            ignore=("candidate",),
+        )
+
+    def effective_table(self) -> Table:
+        """The WHERE-filtered relation Scorpion actually sees."""
+        return self.query().filtered(self.table)
+
+    def effective_truth_mask(self) -> np.ndarray:
+        """Ground-truth mask aligned with :meth:`effective_table`."""
+        obama = self.table.column("candidate").membership_mask(["Obama"])
+        return self.truth_mask[obama]
+
+    def outlier_row_indices(self) -> np.ndarray:
+        """Row indices of the outlier days within :meth:`effective_table`."""
+        effective = self.effective_table()
+        mask = effective.column("date").membership_mask(self.outlier_keys)
+        return np.flatnonzero(mask)
+
+
+def _date_string(day_index: int) -> str:
+    """Sequential dates starting 2011-01-01 (month lengths simplified to
+    30 days — the group-by only needs distinct, ordered labels)."""
+    year = 2011 + day_index // 360
+    month = (day_index % 360) // 30 + 1
+    day = day_index % 30 + 1
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def generate_expenses(config: ExpensesConfig) -> ExpensesDataset:
+    """Generate the expense file per the module docstring."""
+    rng = np.random.default_rng(config.seed)
+    recipients = np.array(
+        [f"VENDOR {i:05d} LLC" for i in range(config.n_recipients)], dtype=object)
+    cities = np.array([f"CITY_{i:03d}" for i in range(config.n_cities)], dtype=object)
+    zips = np.array([f"{20000 + 37 * i}" for i in range(config.n_zips)], dtype=object)
+    file_nums = np.array([800310 + i for i in range(10)], dtype=object)
+
+    # Zipf-ish skew: a few vendors receive most payments (like the real file).
+    recipient_weights = 1.0 / np.arange(1, config.n_recipients + 1) ** 0.8
+    recipient_weights /= recipient_weights.sum()
+
+    days = [_date_string(i) for i in range(config.n_days)]
+    outlier_day_indices = sorted(
+        rng.choice(config.n_days, size=config.n_outlier_days, replace=False).tolist())
+    outlier_days = {days[i] for i in outlier_day_indices}
+
+    columns: dict[str, list] = {name: [] for name in (
+        "date", "candidate", "recipient_nm", "recipient_st", "recipient_city",
+        "recipient_zip", "disb_desc", "file_num", "org_type", "entity_type",
+        "election_type", "memo_cd", "category", "payee_tp", "disb_amt")}
+
+    def emit(date: str, candidate: str, recipient: str, state: str, city: str,
+             zip_code: str, desc: str, file_num, org: str, entity: str,
+             election: str, memo: str, category: str, payee: str,
+             amount: float) -> None:
+        columns["date"].append(date)
+        columns["candidate"].append(candidate)
+        columns["recipient_nm"].append(recipient)
+        columns["recipient_st"].append(state)
+        columns["recipient_city"].append(city)
+        columns["recipient_zip"].append(zip_code)
+        columns["disb_desc"].append(desc)
+        columns["file_num"].append(file_num)
+        columns["org_type"].append(org)
+        columns["entity_type"].append(entity)
+        columns["election_type"].append(election)
+        columns["memo_cd"].append(memo)
+        columns["category"].append(category)
+        columns["payee_tp"].append(payee)
+        columns["disb_amt"].append(amount)
+
+    def random_row(date: str, candidate: str) -> None:
+        recipient_index = int(rng.choice(config.n_recipients, p=recipient_weights))
+        emit(
+            date, candidate,
+            str(recipients[recipient_index]),
+            str(rng.choice(_STATES)),
+            str(rng.choice(cities)),
+            str(rng.choice(zips)),
+            str(rng.choice(_DISB_DESCS)),
+            int(rng.choice(file_nums[:6])),
+            str(rng.choice(_ORG_TYPES)),
+            str(rng.choice(_ENTITY_TYPES)),
+            str(rng.choice(_ELECTION_TYPES)),
+            str(rng.choice(_MEMO_CODES, p=[0.9, 0.1])),
+            str(rng.choice(_CATEGORIES)),
+            str(rng.choice(_PAYEE_TYPES)),
+            float(np.round(rng.lognormal(5.5, 1.2), 2)),  # median ≈ $245
+        )
+
+    for day_index, date in enumerate(days):
+        n_other = int(round(config.rows_per_day * config.other_candidate_fraction))
+        for _ in range(config.rows_per_day - n_other):
+            random_row(date, "Obama")
+        for _ in range(n_other):
+            random_row(date, str(rng.choice(["Romney", "Paul", "Santorum"])))
+        if date in outlier_days:
+            # The GMMB INC. media buys that blow up the daily total
+            # (report 800316, avg ≈ $2.7M each).
+            for _ in range(config.media_buys_per_outlier_day):
+                emit(date, "Obama", "GMMB INC.", "DC", "CITY_000", "20001",
+                     "MEDIA BUY", 800316, "CORPORATION", "ORG", "G2012", "",
+                     "ADVERTISING", "VENDOR",
+                     float(np.round(rng.uniform(1.8e6, 3.6e6), 2)))
+            # The cheaper sibling report drops below the $1.5M truth line.
+            for _ in range(2):
+                emit(date, "Obama", "GMMB INC.", "DC", "CITY_000", "20001",
+                     "MEDIA BUY", 800317, "CORPORATION", "ORG", "G2012", "",
+                     "ADVERTISING", "VENDOR",
+                     float(np.round(rng.uniform(4e5, 1.2e6), 2)))
+        elif rng.uniform() < 0.05:
+            # Occasional big-but-not-outlier payment on a normal day.
+            emit(date, "Obama", str(recipients[int(rng.integers(10))]),
+                 str(rng.choice(_STATES)), str(rng.choice(cities)),
+                 str(rng.choice(zips)), "ONLINE ADVERTISING",
+                 int(rng.choice(file_nums[:6])), "CORPORATION", "ORG",
+                 "G2012", "", "ADVERTISING", "VENDOR",
+                 float(np.round(rng.uniform(2e5, 9e5), 2)))
+
+    schema = Schema(
+        [ColumnSpec(name, ColumnKind.DISCRETE) for name in columns if name != "disb_amt"]
+        + [ColumnSpec("disb_amt", ColumnKind.CONTINUOUS)]
+    )
+    table = Table.from_columns(schema, columns)
+    truth_mask = np.asarray(
+        [amount > GROUND_TRUTH_AMOUNT for amount in columns["disb_amt"]], dtype=bool)
+
+    holdout_pool = [d for d in days if d not in outlier_days]
+    holdout_keys = list(np.random.default_rng(config.seed + 1).choice(
+        holdout_pool, size=27, replace=False))
+    return ExpensesDataset(
+        config=config,
+        table=table,
+        outlier_keys=sorted(outlier_days),
+        holdout_keys=sorted(str(d) for d in holdout_keys),
+        truth_mask=truth_mask,
+    )

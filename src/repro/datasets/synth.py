@@ -1,0 +1,280 @@
+"""The SYNTH generator (paper Section 8.1).
+
+Query shape::
+
+    SELECT SUM(av) FROM synthetic GROUP BY ad
+
+One discrete group-by attribute ``ad`` with 10 values, one value
+attribute ``av``, and ``n`` continuous dimension attributes ``a1 … an``
+over ``[0, 100]``.  Half the groups are hold-outs whose values all come
+from the normal distribution N(10, 10); the other half are outlier
+groups built around two nested random hyper-cubes:
+
+* the **outer cube** holds 25% of the group's tuples; those outside the
+  inner cube draw *medium* values from N((µ+10)/2, 10);
+* the **inner cube** holds 25% of the outer cube's tuples and draws
+  *high* values from N(µ, 10);
+* the remaining 75% draw normal values and scatter uniformly over the
+  whole domain (so they may fall inside the cubes — that is what makes
+  Hard hard).
+
+``µ`` controls difficulty: Easy = 80, Hard = 30.  Values are clipped at
+zero so SUM's non-negativity ``check`` passes and the MC partitioner is
+applicable, as the paper's use of an "independent anti-monotonic
+aggregate" requires.
+
+Each tuple's value-distribution label (normal / medium / high) is
+recorded; following Section 8.3.1, the *inner* ground truth is the high
+tuples and the *outer* ground truth is high + medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregates.standard import Sum
+from repro.core.problem import ScorpionQuery
+from repro.errors import DatasetError
+from repro.query.groupby import GroupByQuery
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+from repro.table.table import Table
+
+LABEL_NORMAL = 0
+LABEL_MEDIUM = 1
+LABEL_HIGH = 2
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Parameters of one SYNTH instance."""
+
+    n_dims: int = 2
+    n_groups: int = 10
+    tuples_per_group: int = 2000
+    #: Mean of the high-outlier value distribution (Easy 80, Hard 30).
+    mu: float = 80.0
+    normal_mean: float = 10.0
+    value_std: float = 10.0
+    outer_fraction: float = 0.25
+    inner_fraction_of_outer: float = 0.25
+    domain_lo: float = 0.0
+    domain_hi: float = 100.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_dims < 1:
+            raise DatasetError(f"n_dims must be >= 1, got {self.n_dims}")
+        if self.n_groups < 2:
+            raise DatasetError(f"n_groups must be >= 2, got {self.n_groups}")
+        if self.tuples_per_group < 4:
+            raise DatasetError("tuples_per_group must be >= 4")
+        if not 0 < self.outer_fraction < 1 or not 0 < self.inner_fraction_of_outer < 1:
+            raise DatasetError("cube fractions must be in (0, 1)")
+        if self.domain_lo >= self.domain_hi:
+            raise DatasetError("domain_lo must be < domain_hi")
+
+    @property
+    def medium_mean(self) -> float:
+        """Medium outliers draw from N((µ + normal_mean) / 2, σ)."""
+        return (self.mu + self.normal_mean) / 2.0
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(f"a{i + 1}" for i in range(self.n_dims))
+
+
+@dataclass
+class SynthDataset:
+    """A generated SYNTH instance with annotations and ground truth."""
+
+    config: SynthConfig
+    table: Table
+    #: Group keys (``ad`` values) of the outlier / hold-out groups.
+    outlier_keys: list[int]
+    holdout_keys: list[int]
+    #: Per-row label: 0 normal, 1 medium, 2 high.
+    labels: np.ndarray = field(repr=False)
+    #: Per-dimension (lo, hi) bounds of the planted cubes.
+    outer_cube: list[tuple[float, float]] = field(default_factory=list)
+    inner_cube: list[tuple[float, float]] = field(default_factory=list)
+
+    def query(self) -> GroupByQuery:
+        """The paper's ``SELECT SUM(av) … GROUP BY ad`` query."""
+        return GroupByQuery("ad", Sum(), "av")
+
+    def scorpion_query(self, c: float = 0.1, lam: float = 0.5) -> ScorpionQuery:
+        """The annotated problem: outlier groups too high, rest held out."""
+        return ScorpionQuery(
+            table=self.table,
+            query=self.query(),
+            outliers=self.outlier_keys,
+            holdouts=self.holdout_keys,
+            error_vectors=+1.0,
+            lam=lam,
+            c=c,
+        )
+
+    # ------------------------------------------------------------------
+    # Ground truth (Section 8.3.1: "we simply use the tuples in the inner
+    # and outer cubes ... as surrogates for ground truth" — spatial
+    # membership, including normal-valued tuples that happen to fall
+    # inside the cubes)
+    # ------------------------------------------------------------------
+    def _cube_mask(self, cube: list[tuple[float, float]]) -> np.ndarray:
+        mask = np.ones(len(self.table), dtype=bool)
+        for dim, (lo, hi) in zip(self.config.dimension_names, cube):
+            values = self.table.values(dim)
+            mask &= (values >= lo) & (values <= hi)
+        return mask
+
+    def truth_inner(self) -> np.ndarray:
+        """Mask over all rows: tuples spatially inside the inner cube."""
+        return self._cube_mask(self.inner_cube)
+
+    def truth_outer(self) -> np.ndarray:
+        """Mask over all rows: tuples spatially inside the outer cube."""
+        return self._cube_mask(self.outer_cube)
+
+    def label_inner(self) -> np.ndarray:
+        """Mask over all rows: tuples *drawn from* the high distribution
+        (distribution-label variant of :meth:`truth_inner`)."""
+        return self.labels == LABEL_HIGH
+
+    def label_outer(self) -> np.ndarray:
+        """Mask over all rows: tuples drawn from either outlier
+        distribution."""
+        return self.labels != LABEL_NORMAL
+
+    def outlier_row_indices(self) -> np.ndarray:
+        """Row indices belonging to outlier groups (``g_O``)."""
+        mask = self.table.column("ad").membership_mask(self.outlier_keys)
+        return np.flatnonzero(mask)
+
+
+def _random_nested_cubes(config: SynthConfig, rng: np.random.Generator,
+                         ) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+    """Two random axis-aligned cubes, the second nested in the first.
+
+    The outer side spans 40–70% of the domain per dimension and the inner
+    side 25–50% of the outer (the paper's Figure 8 example is outer
+    [20, 80], inner [40, 60]).
+    """
+    width = config.domain_hi - config.domain_lo
+    outer: list[tuple[float, float]] = []
+    inner: list[tuple[float, float]] = []
+    for _ in range(config.n_dims):
+        outer_side = rng.uniform(0.4, 0.7) * width
+        outer_lo = config.domain_lo + rng.uniform(0.0, width - outer_side)
+        inner_side = rng.uniform(0.25, 0.5) * outer_side
+        inner_lo = outer_lo + rng.uniform(0.0, outer_side - inner_side)
+        outer.append((outer_lo, outer_lo + outer_side))
+        inner.append((inner_lo, inner_lo + inner_side))
+    return outer, inner
+
+
+def _uniform_in_box(rng: np.random.Generator, box: list[tuple[float, float]],
+                    count: int) -> np.ndarray:
+    columns = [rng.uniform(lo, hi, count) for lo, hi in box]
+    return np.column_stack(columns) if columns else np.empty((count, 0))
+
+
+def _uniform_in_shell(rng: np.random.Generator, outer: list[tuple[float, float]],
+                      inner: list[tuple[float, float]], count: int) -> np.ndarray:
+    """Uniform points inside ``outer`` but outside ``inner`` (rejection
+    sampling; the inner cube is at most a quarter of the outer per side,
+    so acceptance is high)."""
+    points = np.empty((count, len(outer)))
+    filled = 0
+    while filled < count:
+        batch = _uniform_in_box(rng, outer, max(count - filled, 16) * 2)
+        in_inner = np.ones(len(batch), dtype=bool)
+        for dim, (lo, hi) in enumerate(inner):
+            in_inner &= (batch[:, dim] >= lo) & (batch[:, dim] <= hi)
+        accepted = batch[~in_inner]
+        take = min(len(accepted), count - filled)
+        points[filled:filled + take] = accepted[:take]
+        filled += take
+    return points
+
+
+def generate_synth(config: SynthConfig) -> SynthDataset:
+    """Generate a SYNTH instance per the Section 8.1 recipe."""
+    rng = np.random.default_rng(config.seed)
+    outer, inner = _random_nested_cubes(config, rng)
+    n_groups = config.n_groups
+    per_group = config.tuples_per_group
+    n_outlier_groups = n_groups // 2
+    outlier_keys = list(range(n_outlier_groups))
+    holdout_keys = list(range(n_outlier_groups, n_groups))
+
+    group_col: list[int] = []
+    dims_rows: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+
+    domain_box = [(config.domain_lo, config.domain_hi)] * config.n_dims
+    n_outer = int(round(config.outer_fraction * per_group))
+    n_inner = int(round(config.inner_fraction_of_outer * n_outer))
+    n_medium = n_outer - n_inner
+    n_normal = per_group - n_outer
+
+    for key in range(n_groups):
+        if key in outlier_keys:
+            high_points = _uniform_in_box(rng, inner, n_inner)
+            medium_points = _uniform_in_shell(rng, outer, inner, n_medium)
+            normal_points = _uniform_in_box(rng, domain_box, n_normal)
+            points = np.vstack([high_points, medium_points, normal_points])
+            group_values = np.concatenate([
+                rng.normal(config.mu, config.value_std, n_inner),
+                rng.normal(config.medium_mean, config.value_std, n_medium),
+                rng.normal(config.normal_mean, config.value_std, n_normal),
+            ])
+            group_labels = np.concatenate([
+                np.full(n_inner, LABEL_HIGH),
+                np.full(n_medium, LABEL_MEDIUM),
+                np.full(n_normal, LABEL_NORMAL),
+            ])
+        else:
+            points = _uniform_in_box(rng, domain_box, per_group)
+            group_values = rng.normal(config.normal_mean, config.value_std, per_group)
+            group_labels = np.full(per_group, LABEL_NORMAL)
+        group_col.extend([key] * per_group)
+        dims_rows.append(points)
+        values.append(group_values)
+        labels.append(group_labels)
+
+    dims = np.vstack(dims_rows)
+    specs = [ColumnSpec("ad", ColumnKind.DISCRETE)]
+    specs += [ColumnSpec(name, ColumnKind.CONTINUOUS) for name in config.dimension_names]
+    specs.append(ColumnSpec("av", ColumnKind.CONTINUOUS))
+    schema = Schema(specs)
+    data = {"ad": group_col, "av": np.clip(np.concatenate(values), 0.0, None)}
+    for i, name in enumerate(config.dimension_names):
+        data[name] = dims[:, i]
+    table = Table.from_columns(schema, data)
+    return SynthDataset(
+        config=config,
+        table=table,
+        outlier_keys=outlier_keys,
+        holdout_keys=holdout_keys,
+        labels=np.concatenate(labels),
+        outer_cube=outer,
+        inner_cube=inner,
+    )
+
+
+def make_synth(n_dims: int, difficulty: str, tuples_per_group: int = 2000,
+               seed: int = 0) -> SynthDataset:
+    """Named instances matching the paper, e.g. ``make_synth(2, "hard")``
+    is SYNTH-2D-Hard (µ = 30); ``"easy"`` is µ = 80."""
+    difficulty = difficulty.lower()
+    if difficulty == "easy":
+        mu = 80.0
+    elif difficulty == "hard":
+        mu = 30.0
+    else:
+        raise DatasetError(f"difficulty must be 'easy' or 'hard', got {difficulty!r}")
+    return generate_synth(SynthConfig(
+        n_dims=n_dims, mu=mu, tuples_per_group=tuples_per_group, seed=seed))

@@ -1,0 +1,77 @@
+"""Precision / recall / F-score of explanation predicates (Section 8.2).
+
+The paper scores a predicate ``p`` by the tuples it matches inside the
+outlier input groups: ``p(g_O)`` versus a ground-truth set, with::
+
+    F = 2 · precision · recall / (precision + recall)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.predicates.predicate import Predicate
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class AccuracyStats:
+    """Confusion-derived accuracy of one predicate."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        selected = self.true_positives + self.false_positives
+        return self.true_positives / selected if selected else 0.0
+
+    @property
+    def recall(self) -> float:
+        relevant = self.true_positives + self.false_negatives
+        return self.true_positives / relevant if relevant else 0.0
+
+    @property
+    def f_score(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def confusion_counts(selected: np.ndarray, truth: np.ndarray) -> AccuracyStats:
+    """Confusion counts from aligned boolean masks."""
+    selected = np.asarray(selected, dtype=bool)
+    truth = np.asarray(truth, dtype=bool)
+    if selected.shape != truth.shape:
+        raise DatasetError(
+            f"mask shapes differ: {selected.shape} vs {truth.shape}"
+        )
+    return AccuracyStats(
+        true_positives=int(np.count_nonzero(selected & truth)),
+        false_positives=int(np.count_nonzero(selected & ~truth)),
+        false_negatives=int(np.count_nonzero(~selected & truth)),
+    )
+
+
+def score_predicate(predicate: Predicate, table: Table, truth_mask: np.ndarray,
+                    outlier_rows: np.ndarray | None = None) -> AccuracyStats:
+    """Accuracy of ``predicate`` against ``truth_mask`` over ``table``.
+
+    Following Section 8.2, when ``outlier_rows`` is given both the
+    selection and the ground truth are restricted to those rows
+    (``p(g_O)`` vs truth ∩ ``g_O``).
+    """
+    truth_mask = np.asarray(truth_mask, dtype=bool)
+    if truth_mask.shape != (len(table),):
+        raise DatasetError(
+            f"truth mask has shape {truth_mask.shape}, table has {len(table)} rows"
+        )
+    selected = predicate.mask(table)
+    if outlier_rows is not None:
+        outlier_rows = np.asarray(outlier_rows, dtype=np.int64)
+        selected = selected[outlier_rows]
+        truth_mask = truth_mask[outlier_rows]
+    return confusion_counts(selected, truth_mask)

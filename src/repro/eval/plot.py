@@ -1,0 +1,119 @@
+"""ASCII plotting for terminal-friendly figure reproductions.
+
+The paper's Figures 1, 8 and 9 are scatter plots; these helpers render
+their essence in a terminal: a 2-D density/category scatter and a
+predicate-box overlay.  The synthetic example uses them to show the
+nested cubes and the predicate Scorpion recovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.predicates.clause import RangeClause
+from repro.predicates.predicate import Predicate
+
+#: Density ramp for scatter cells, light to dark.
+_RAMP = " .:+*#@"
+
+
+def ascii_scatter(x: np.ndarray, y: np.ndarray,
+                  labels: np.ndarray | None = None,
+                  width: int = 60, height: int = 24,
+                  x_range: tuple[float, float] | None = None,
+                  y_range: tuple[float, float] | None = None,
+                  label_chars: str = ".ox*#") -> str:
+    """Render points as a character grid.
+
+    Without ``labels``, cell darkness encodes point density.  With
+    integer ``labels`` (0, 1, 2, …), each cell shows the character of the
+    *highest* label present — so rare outlier classes stay visible on
+    top of the normal background.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise DatasetError(f"x and y differ in shape: {x.shape} vs {y.shape}")
+    if len(x) == 0:
+        raise DatasetError("nothing to plot")
+    if width < 2 or height < 2:
+        raise DatasetError("plot must be at least 2x2")
+    x_lo, x_hi = x_range if x_range else (float(x.min()), float(x.max()))
+    y_lo, y_hi = y_range if y_range else (float(y.min()), float(y.max()))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    cols = np.clip(((x - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((y - y_lo) / y_span * (height - 1)).astype(int), 0, height - 1)
+
+    if labels is None:
+        counts = np.zeros((height, width), dtype=int)
+        np.add.at(counts, (rows, cols), 1)
+        peak = counts.max() or 1
+        grid = np.full((height, width), " ", dtype="<U1")
+        for r in range(height):
+            for col in range(width):
+                if counts[r, col]:
+                    level = int(counts[r, col] / peak * (len(_RAMP) - 1))
+                    grid[r, col] = _RAMP[max(level, 1)]
+    else:
+        labels = np.asarray(labels, dtype=int)
+        if labels.shape != x.shape:
+            raise DatasetError("labels must align with the points")
+        if labels.max() >= len(label_chars):
+            raise DatasetError(
+                f"label {labels.max()} has no character (have {len(label_chars)})")
+        cell_label = np.full((height, width), -1, dtype=int)
+        np.maximum.at(cell_label, (rows, cols), labels)
+        grid = np.full((height, width), " ", dtype="<U1")
+        for r in range(height):
+            for col in range(width):
+                if cell_label[r, col] >= 0:
+                    grid[r, col] = label_chars[cell_label[r, col]]
+
+    lines = []
+    for r in range(height - 1, -1, -1):  # y grows upward
+        lines.append("|" + "".join(grid[r]) + "|")
+    top = f"+{'-' * width}+  y in [{y_lo:g}, {y_hi:g}]"
+    bottom = f"+{'-' * width}+  x in [{x_lo:g}, {x_hi:g}]"
+    return "\n".join([top] + lines + [bottom])
+
+
+def overlay_box(plot: str, predicate: Predicate, x_attr: str, y_attr: str,
+                x_range: tuple[float, float], y_range: tuple[float, float],
+                ) -> str:
+    """Draw a predicate's 2-D bounding box onto an :func:`ascii_scatter`
+    output (corners ``+``, edges ``-``/``|`` replaced where blank)."""
+    lines = [list(line) for line in plot.splitlines()]
+    height = len(lines) - 2
+    # Interior width sits between the two '|' of any data row.
+    data_row = "".join(lines[1])
+    width = data_row.rindex("|") - data_row.index("|") - 1
+
+    def col_of(attr_value: float, lo: float, hi: float) -> int:
+        span = (hi - lo) or 1.0
+        return int(np.clip((attr_value - lo) / span * (width - 1), 0, width - 1))
+
+    x_clause = predicate.clause_for(x_attr)
+    y_clause = predicate.clause_for(y_attr)
+    x_lo, x_hi = x_range
+    y_lo, y_hi = y_range
+    cx0 = col_of(x_clause.lo if isinstance(x_clause, RangeClause) else x_lo,
+                 x_lo, x_hi)
+    cx1 = col_of(x_clause.hi if isinstance(x_clause, RangeClause) else x_hi,
+                 x_lo, x_hi)
+    height_span = (y_hi - y_lo) or 1.0
+
+    def row_of(value: float) -> int:
+        fraction = np.clip((value - y_lo) / height_span, 0.0, 1.0)
+        return int((1.0 - fraction) * (height - 1)) + 1  # +1 for top border
+
+    ry1 = row_of(y_clause.lo if isinstance(y_clause, RangeClause) else y_lo)
+    ry0 = row_of(y_clause.hi if isinstance(y_clause, RangeClause) else y_hi)
+    for col in range(cx0, cx1 + 1):
+        for row in (ry0, ry1):
+            lines[row][col + 1] = "=" if lines[row][col + 1] == " " else lines[row][col + 1]
+    for row in range(ry0, ry1 + 1):
+        for col in (cx0, cx1):
+            lines[row][col + 1] = "I" if lines[row][col + 1] == " " else lines[row][col + 1]
+    return "\n".join("".join(line) for line in lines)

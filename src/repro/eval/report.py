@@ -1,0 +1,51 @@
+"""Plain-text report formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers render them as aligned fixed-width tables so the shapes (who
+wins, where the crossovers fall) are readable straight off the console.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """An aligned fixed-width table with a title rule."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = [title, "=" * max(len(title), 1)]
+    lines.append("  ".join(h.rjust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Mapping],
+                  x_label: str = "x") -> str:
+    """Render ``{series name: {x: y}}`` with one row per x value —
+    the textual equivalent of one figure panel."""
+    xs: list = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list = [x]
+        for name in series:
+            row.append(series[name].get(x, float("nan")))
+        rows.append(row)
+    return format_table(title, headers, rows)

@@ -1,0 +1,119 @@
+"""Experiment plumbing shared by every benchmark.
+
+``run_algorithm`` executes one (algorithm, problem) pair and records the
+best predicate, its influence, accuracy against a ground truth, and the
+wall-clock cost; ``sweep_c`` repeats that across the Section 7 knob the
+experiments vary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.dt import DTPartitioner
+from repro.core.mc import MCPartitioner
+from repro.core.naive import NaivePartitioner
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.errors import PartitionerError
+from repro.eval.metrics import AccuracyStats, score_predicate
+from repro.predicates.predicate import Predicate
+from repro.table.table import Table
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one algorithm execution."""
+
+    algorithm: str
+    c: float
+    predicate: Predicate | None
+    influence: float
+    runtime: float
+    stats: AccuracyStats | None = None
+    n_candidates: int = 0
+
+    @property
+    def f_score(self) -> float:
+        return self.stats.f_score if self.stats else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.stats.precision if self.stats else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.stats.recall if self.stats else 0.0
+
+
+def make_partitioner(name: str, **kwargs):
+    """Partitioner factory used by benches (``dt`` / ``mc`` / ``naive``)."""
+    name = name.lower()
+    if name == "dt":
+        return DTPartitioner(**kwargs)
+    if name == "mc":
+        return MCPartitioner(**kwargs)
+    if name == "naive":
+        return NaivePartitioner(**kwargs)
+    raise PartitionerError(f"unknown algorithm {name!r}")
+
+
+def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
+                  truth_mask: np.ndarray | None = None,
+                  outlier_rows: np.ndarray | None = None,
+                  scorpion: Scorpion | None = None,
+                  **partitioner_kwargs) -> RunRecord:
+    """Run one algorithm on ``problem`` and score its best predicate.
+
+    ``table``/``truth_mask``/``outlier_rows`` enable accuracy scoring;
+    omit them to record influence and runtime only.  A pre-built
+    ``scorpion`` may be passed to share its cross-``c`` cache.
+    """
+    partitioner = make_partitioner(name, **partitioner_kwargs)
+    scorpion = scorpion or Scorpion(use_cache=False)
+    scorpion.partitioner = partitioner
+    started = time.perf_counter()
+    result = scorpion.explain(problem)
+    runtime = time.perf_counter() - started
+    best = result.best
+    stats = None
+    if best is not None and table is not None and truth_mask is not None:
+        stats = score_predicate(best.predicate, table, truth_mask, outlier_rows)
+    return RunRecord(
+        algorithm=name,
+        c=problem.c,
+        predicate=best.predicate if best else None,
+        influence=best.influence if best else float("nan"),
+        runtime=runtime,
+        stats=stats,
+        n_candidates=result.n_candidates,
+    )
+
+
+def sweep_c(name: str, problem: ScorpionQuery, c_values: Sequence[float],
+            table: Table | None = None, truth_mask: np.ndarray | None = None,
+            outlier_rows: np.ndarray | None = None,
+            share_cache: bool = False,
+            **partitioner_kwargs) -> list[RunRecord]:
+    """Run one algorithm across a ``c`` sweep (the axis of Figures 9–13).
+
+    With ``share_cache`` the runs share a Scorpion instance so DT reuses
+    partitions and merger warm starts (the Section 8.3.3 experiment).
+    """
+    scorpion = Scorpion(use_cache=True) if share_cache else None
+    records = []
+    for c in c_values:
+        records.append(run_algorithm(
+            name, problem.with_c(c), table=table, truth_mask=truth_mask,
+            outlier_rows=outlier_rows, scorpion=scorpion,
+            **partitioner_kwargs))
+    return records
+
+
+def best_f_by_c(records: Iterable[RunRecord]) -> dict[float, float]:
+    """Convenience: map each swept ``c`` to the F-score achieved."""
+    return {record.c: record.f_score for record in records}

@@ -1,0 +1,21 @@
+"""Filter-based dimensionality reduction (paper Section 6.4).
+
+The paper defers automatic attribute selection to future work but names
+the technique: filter feature selection via correlation / mutual
+information scores [13], used to drop non-informative explanation
+attributes before partitioning.  This package implements it.
+"""
+
+from repro.featsel.filters import (
+    attribute_relevance,
+    mutual_information,
+    pearson_correlation,
+    select_attributes,
+)
+
+__all__ = [
+    "attribute_relevance",
+    "mutual_information",
+    "pearson_correlation",
+    "select_attributes",
+]

@@ -1,0 +1,123 @@
+"""Correlation and mutual-information relevance filters.
+
+Given the per-tuple influence values the DT path computes anyway, these
+filters score each candidate explanation attribute by how much it tells
+us about influence — attributes scoring near zero are noise dimensions
+the partitioners need not search.
+
+* continuous attributes: absolute Pearson correlation with influence;
+* discrete attributes: mutual information between the attribute and
+  binned influence, normalized to [0, 1] by the influence entropy.
+
+``select_attributes`` applies the filter to a Scorpion problem and
+returns the attributes worth keeping, so callers can run
+``ScorpionQuery(..., attributes=selected)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.errors import PartitionerError
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (0.0 when either side is
+    constant)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise PartitionerError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if len(x) < 2:
+        return 0.0
+    x_std = float(np.std(x))
+    y_std = float(np.std(y))
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(np.mean((x - np.mean(x)) * (y - np.mean(y))) / (x_std * y_std))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def mutual_information(labels, y: np.ndarray, n_bins: int = 8) -> float:
+    """Mutual information between a discrete variable and a continuous
+    one (the continuous side is equi-width binned)."""
+    y = np.asarray(y, dtype=np.float64)
+    if len(labels) != len(y):
+        raise PartitionerError("labels and values must be the same length")
+    if len(y) == 0:
+        return 0.0
+    lo, hi = float(np.min(y)), float(np.max(y))
+    if lo == hi:
+        return 0.0
+    bins = np.clip(((y - lo) / (hi - lo) * n_bins).astype(int), 0, n_bins - 1)
+    label_codes: dict = {}
+    codes = np.empty(len(y), dtype=np.int64)
+    for i, label in enumerate(labels):
+        codes[i] = label_codes.setdefault(label, len(label_codes))
+    joint = np.zeros((len(label_codes), n_bins))
+    for code, bin_index in zip(codes, bins):
+        joint[code, bin_index] += 1
+    h_label = _entropy(joint.sum(axis=1))
+    h_bin = _entropy(joint.sum(axis=0))
+    h_joint = _entropy(joint.ravel())
+    return max(h_label + h_bin - h_joint, 0.0)
+
+
+def attribute_relevance(problem: ScorpionQuery,
+                        scorer: InfluenceScorer | None = None,
+                        ) -> dict[str, float]:
+    """Relevance score in [0, 1] for each explanation attribute.
+
+    Continuous attributes score |Pearson correlation| between the
+    attribute and per-tuple influence over the outlier groups; discrete
+    attributes score mutual information normalized by the influence-bin
+    entropy.
+    """
+    scorer = scorer or InfluenceScorer(problem)
+    rows = np.concatenate([ctx.indices for ctx in scorer.outlier_contexts])
+    influence = np.concatenate([
+        np.nan_to_num(scorer.tuple_influences(ctx), nan=0.0, posinf=0.0, neginf=0.0)
+        for ctx in scorer.outlier_contexts
+    ])
+    relevance: dict[str, float] = {}
+    for spec in problem.domain:
+        values = problem.table.values(spec.name)[rows]
+        if spec.is_continuous:
+            relevance[spec.name] = abs(pearson_correlation(
+                np.asarray(values, dtype=np.float64), influence))
+        else:
+            lo, hi = float(np.min(influence)), float(np.max(influence))
+            if lo == hi:
+                relevance[spec.name] = 0.0
+                continue
+            n_bins = 8
+            bins = np.clip(((influence - lo) / (hi - lo) * n_bins).astype(int),
+                           0, n_bins - 1)
+            h_influence = _entropy(np.bincount(bins, minlength=n_bins).astype(float))
+            mi = mutual_information(values, influence, n_bins=n_bins)
+            relevance[spec.name] = mi / h_influence if h_influence > 0 else 0.0
+    return relevance
+
+
+def select_attributes(problem: ScorpionQuery, threshold: float = 0.05,
+                      min_keep: int = 1,
+                      scorer: InfluenceScorer | None = None) -> list[str]:
+    """Attributes whose relevance clears ``threshold`` (always keeping at
+    least the ``min_keep`` best so the search space never empties)."""
+    if min_keep < 1:
+        raise PartitionerError(f"min_keep must be >= 1, got {min_keep}")
+    relevance = attribute_relevance(problem, scorer)
+    ordered = sorted(relevance, key=lambda a: relevance[a], reverse=True)
+    kept = [a for a in ordered if relevance[a] >= threshold]
+    if len(kept) < min_keep:
+        kept = ordered[:min_keep]
+    return kept

@@ -1,0 +1,29 @@
+"""Scorpion's predicate language (paper Section 3.1).
+
+A predicate is a conjunction of clauses, at most one per attribute:
+range clauses (``lo ≤ attr ≤ hi``) over continuous attributes and
+set-containment clauses (``attr ∈ {…}``) over discrete attributes.
+
+Beyond evaluation (``p(D)`` as a boolean mask), the package provides the
+geometric operations the partitioners and the Merger need — containment
+(``p_i ≺_D p_j``), intersection, bounding-box merge, adjacency, and box
+subtraction (used to split outlier partitions along hold-out partitions,
+Section 6.1.4) — plus the equi-width discretizer NAIVE and MC use to
+grid continuous attributes.
+"""
+
+from repro.predicates.clause import Clause, RangeClause, SetClause
+from repro.predicates.discretizer import EquiWidthDiscretizer
+from repro.predicates.predicate import Predicate
+from repro.predicates.space import AttributeDomain, Domain, PredicateEnumerator
+
+__all__ = [
+    "AttributeDomain",
+    "Clause",
+    "Domain",
+    "EquiWidthDiscretizer",
+    "Predicate",
+    "PredicateEnumerator",
+    "RangeClause",
+    "SetClause",
+]

@@ -1,0 +1,238 @@
+"""Single-attribute clauses: ranges over continuous attributes, set
+containment over discrete attributes.
+
+Clauses are immutable and hashable so predicates can be cached and
+de-duplicated.  Range clauses carry an ``include_hi`` flag: grid cells
+produced by the discretizer are half-open ``[lo, hi)`` so neighbours do
+not double-count rows, while the top cell and user-written clauses are
+closed ``[lo, hi]``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import PredicateError
+from repro.table.table import Table
+
+
+class Clause(abc.ABC):
+    """A constraint on one attribute."""
+
+    attribute: str
+
+    @abc.abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows in ``table`` satisfying the clause."""
+
+    @abc.abstractmethod
+    def mask_values(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask over a raw value array (for evaluating the clause
+        on a subset of rows without materializing a table)."""
+
+    @abc.abstractmethod
+    def contains(self, other: "Clause") -> bool:
+        """Syntactic containment: every value satisfying ``other``
+        satisfies ``self``.  Sufficient (not necessary) for ``≺_D``."""
+
+    @abc.abstractmethod
+    def intersect(self, other: "Clause") -> "Clause | None":
+        """Clause satisfied exactly by values satisfying both, or None if
+        that set is syntactically empty."""
+
+    @abc.abstractmethod
+    def merge(self, other: "Clause") -> "Clause":
+        """Smallest clause of this kind containing both (bounding range /
+        set union) — the Merger's merge primitive (Section 4.3)."""
+
+    @abc.abstractmethod
+    def touches(self, other: "Clause") -> bool:
+        """Whether the two clauses overlap or are adjacent (no gap), so a
+        merge does not bridge empty space."""
+
+
+class RangeClause(Clause):
+    """``lo ≤ attribute ≤ hi`` (or ``< hi`` when ``include_hi`` is False).
+
+    >>> c = RangeClause("voltage", 2.3, 2.4)
+    >>> c.contains(RangeClause("voltage", 2.32, 2.35))
+    True
+    """
+
+    __slots__ = ("attribute", "lo", "hi", "include_hi")
+
+    def __init__(self, attribute: str, lo: float, hi: float, include_hi: bool = True):
+        lo = float(lo)
+        hi = float(hi)
+        if not np.isfinite(lo) or not np.isfinite(hi):
+            raise PredicateError(f"range bounds must be finite, got [{lo}, {hi}]")
+        if lo > hi:
+            raise PredicateError(f"empty range [{lo}, {hi}] on {attribute!r}")
+        if lo == hi and not include_hi:
+            raise PredicateError(f"empty half-open range [{lo}, {hi}) on {attribute!r}")
+        self.attribute = attribute
+        self.lo = lo
+        self.hi = hi
+        self.include_hi = bool(include_hi)
+
+    def mask(self, table: Table) -> np.ndarray:
+        return table.column(self.attribute).range_mask(self.lo, self.hi, self.include_hi)
+
+    def mask_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if self.include_hi:
+            return (values >= self.lo) & (values <= self.hi)
+        return (values >= self.lo) & (values < self.hi)
+
+    def contains(self, other: Clause) -> bool:
+        if not isinstance(other, RangeClause) or other.attribute != self.attribute:
+            return False
+        if other.lo < self.lo:
+            return False
+        if other.hi < self.hi:
+            return True
+        if other.hi > self.hi:
+            return False
+        # Equal upper bounds: closed contains half-open, not vice versa.
+        return self.include_hi or not other.include_hi
+
+    def intersect(self, other: Clause) -> Clause | None:
+        if not isinstance(other, RangeClause) or other.attribute != self.attribute:
+            raise PredicateError(f"cannot intersect {self!r} with {other!r}")
+        lo = max(self.lo, other.lo)
+        if self.hi < other.hi:
+            hi, include_hi = self.hi, self.include_hi
+        elif other.hi < self.hi:
+            hi, include_hi = other.hi, other.include_hi
+        else:
+            hi, include_hi = self.hi, self.include_hi and other.include_hi
+        if lo > hi or (lo == hi and not include_hi):
+            return None
+        return RangeClause(self.attribute, lo, hi, include_hi)
+
+    def merge(self, other: Clause) -> Clause:
+        if not isinstance(other, RangeClause) or other.attribute != self.attribute:
+            raise PredicateError(f"cannot merge {self!r} with {other!r}")
+        if self.hi > other.hi:
+            hi, include_hi = self.hi, self.include_hi
+        elif other.hi > self.hi:
+            hi, include_hi = other.hi, other.include_hi
+        else:
+            hi, include_hi = self.hi, self.include_hi or other.include_hi
+        return RangeClause(self.attribute, min(self.lo, other.lo), hi, include_hi)
+
+    def touches(self, other: Clause) -> bool:
+        if not isinstance(other, RangeClause) or other.attribute != self.attribute:
+            return False
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RangeClause)
+                and self.attribute == other.attribute
+                and self.lo == other.lo
+                and self.hi == other.hi
+                and self.include_hi == other.include_hi)
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.lo, self.hi, self.include_hi))
+
+    def __repr__(self) -> str:
+        bracket = "]" if self.include_hi else ")"
+        return f"RangeClause({self.attribute} in [{self.lo:g}, {self.hi:g}{bracket})"
+
+    def __str__(self) -> str:
+        bracket = "]" if self.include_hi else ")"
+        return f"{self.attribute} in [{self.lo:g}, {self.hi:g}{bracket}"
+
+
+class SetClause(Clause):
+    """``attribute ∈ {values}`` over a discrete attribute.
+
+    >>> c = SetClause("sensorid", [15])
+    >>> str(c)
+    'sensorid = 15'
+    """
+
+    __slots__ = ("attribute", "values")
+
+    def __init__(self, attribute: str, values: Iterable):
+        values = frozenset(values)
+        if not values:
+            raise PredicateError(f"empty value set on {attribute!r}")
+        self.attribute = attribute
+        self.values = values
+
+    def mask(self, table: Table) -> np.ndarray:
+        return table.column(self.attribute).membership_mask(self.values)
+
+    def mask_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        allowed = list(self.values)
+        if len(allowed) == 1:
+            return values == allowed[0]
+        # np.isin drives object-array comparisons from C; still O(n·k)
+        # worst case, so hot paths should prefer ArrayMaskEvaluator's
+        # factorized codes.
+        return np.isin(values, np.asarray(allowed, dtype=object))
+
+    def contains(self, other: Clause) -> bool:
+        if not isinstance(other, SetClause) or other.attribute != self.attribute:
+            return False
+        return other.values <= self.values
+
+    def intersect(self, other: Clause) -> Clause | None:
+        if not isinstance(other, SetClause) or other.attribute != self.attribute:
+            raise PredicateError(f"cannot intersect {self!r} with {other!r}")
+        common = self.values & other.values
+        if not common:
+            return None
+        return SetClause(self.attribute, common)
+
+    def merge(self, other: Clause) -> Clause:
+        if not isinstance(other, SetClause) or other.attribute != self.attribute:
+            raise PredicateError(f"cannot merge {self!r} with {other!r}")
+        return SetClause(self.attribute, self.values | other.values)
+
+    def touches(self, other: Clause) -> bool:
+        # Discrete domains have no geometry; any two value sets may merge.
+        return isinstance(other, SetClause) and other.attribute == self.attribute
+
+    def difference(self, other: "SetClause") -> "SetClause | None":
+        """Clause for values in ``self`` but not ``other`` (None if empty)."""
+        remaining = self.values - other.values
+        if not remaining:
+            return None
+        return SetClause(self.attribute, remaining)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SetClause)
+                and self.attribute == other.attribute
+                and self.values == other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.values))
+
+    def _sorted_values(self) -> list:
+        try:
+            return sorted(self.values)
+        except TypeError:
+            return sorted(self.values, key=repr)
+
+    def __repr__(self) -> str:
+        return f"SetClause({self})"
+
+    def __str__(self) -> str:
+        values = self._sorted_values()
+        if len(values) == 1:
+            return f"{self.attribute} = {values[0]}"
+        shown = ", ".join(str(v) for v in values[:6])
+        if len(values) > 6:
+            shown += f", ... ({len(values)} values)"
+        return f"{self.attribute} in ({shown})"

@@ -1,0 +1,73 @@
+"""Equi-width discretization of continuous attributes.
+
+NAIVE and MC both grid each continuous attribute into a fixed number of
+equi-sized ranges (the paper's experiments use 15, Section 8.2).  Cells
+are half-open ``[lo, hi)`` except the last, which closes at the domain
+maximum so no row is lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredicateError
+from repro.predicates.clause import RangeClause
+
+
+class EquiWidthDiscretizer:
+    """Splits ``[lo, hi]`` into ``n_bins`` equal-width cells.
+
+    >>> d = EquiWidthDiscretizer("a", 0.0, 100.0, 4)
+    >>> [str(c) for c in d.cells()]
+    ['a in [0, 25)', 'a in [25, 50)', 'a in [50, 75)', 'a in [75, 100]']
+    """
+
+    def __init__(self, attribute: str, lo: float, hi: float, n_bins: int):
+        if n_bins < 1:
+            raise PredicateError(f"n_bins must be >= 1, got {n_bins}")
+        if not np.isfinite(lo) or not np.isfinite(hi) or lo > hi:
+            raise PredicateError(f"invalid domain [{lo}, {hi}] for {attribute!r}")
+        self.attribute = attribute
+        self.lo = float(lo)
+        self.hi = float(hi)
+        # Degenerate single-value domains collapse to one cell.
+        self.n_bins = 1 if lo == hi else int(n_bins)
+        self.edges = np.linspace(self.lo, self.hi, self.n_bins + 1)
+
+    def cell(self, index: int) -> RangeClause:
+        """The ``index``-th grid cell as a range clause."""
+        if not (0 <= index < self.n_bins):
+            raise PredicateError(f"cell index {index} out of range [0, {self.n_bins})")
+        is_last = index == self.n_bins - 1
+        return RangeClause(
+            self.attribute,
+            float(self.edges[index]),
+            float(self.edges[index + 1]),
+            include_hi=is_last,
+        )
+
+    def cells(self) -> list[RangeClause]:
+        """All grid cells, in order."""
+        return [self.cell(i) for i in range(self.n_bins)]
+
+    def consecutive_ranges(self) -> list[RangeClause]:
+        """Every union of consecutive cells, as NAIVE enumerates
+        (Section 4.2): ``n_bins · (n_bins + 1) / 2`` clauses."""
+        ranges = []
+        for start in range(self.n_bins):
+            for end in range(start, self.n_bins):
+                is_last = end == self.n_bins - 1
+                ranges.append(RangeClause(
+                    self.attribute,
+                    float(self.edges[start]),
+                    float(self.edges[end + 1]),
+                    include_hi=is_last,
+                ))
+        return ranges
+
+    def bin_index(self, value: float) -> int:
+        """Index of the cell containing ``value`` (clamped to the domain)."""
+        if self.n_bins == 1:
+            return 0
+        index = int(np.searchsorted(self.edges, value, side="right")) - 1
+        return min(max(index, 0), self.n_bins - 1)

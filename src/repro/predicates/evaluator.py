@@ -1,0 +1,103 @@
+"""Fast repeated predicate evaluation over a fixed row set.
+
+The scorer and the partitioners evaluate thousands of predicates against
+the *same* rows (the labeled rows of ``D``, or one input group).  For
+discrete attributes, testing set-containment against raw object arrays
+costs a Python-level comparison per row; factorizing each column into
+integer codes once turns every later clause into a vectorized
+``np.isin`` over ints.
+
+:class:`ArrayMaskEvaluator` wraps a ``{attribute: values}`` mapping and
+evaluates conjunctions against it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import PredicateError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+
+
+class ArrayMaskEvaluator:
+    """Evaluates predicates over pre-sliced per-attribute value arrays.
+
+    Parameters
+    ----------
+    values_by_attr:
+        Attribute name → values for the fixed row set.  Float arrays are
+        treated as continuous, anything else as discrete (factorized).
+    """
+
+    def __init__(self, values_by_attr: Mapping[str, np.ndarray]):
+        self._n_rows: int | None = None
+        self._continuous: dict[str, np.ndarray] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        self._code_of: dict[str, dict] = {}
+        for name, values in values_by_attr.items():
+            values = np.asarray(values)
+            if self._n_rows is None:
+                self._n_rows = len(values)
+            elif len(values) != self._n_rows:
+                raise PredicateError(
+                    f"attribute {name!r} has {len(values)} rows, expected {self._n_rows}"
+                )
+            if values.dtype.kind == "f":
+                self._continuous[name] = values
+            else:
+                code_of: dict = {}
+                codes = np.empty(len(values), dtype=np.int64)
+                for i, item in enumerate(values):
+                    code = code_of.get(item)
+                    if code is None:
+                        code = len(code_of)
+                        code_of[item] = code
+                    codes[i] = code
+                self._codes[name] = codes
+                self._code_of[name] = code_of
+        if self._n_rows is None:
+            raise PredicateError("evaluator needs at least one attribute")
+
+    @property
+    def n_rows(self) -> int:
+        assert self._n_rows is not None
+        return self._n_rows
+
+    def supports(self, attribute: str) -> bool:
+        return attribute in self._continuous or attribute in self._codes
+
+    def clause_mask(self, clause) -> np.ndarray:
+        """Boolean mask of rows satisfying one clause."""
+        if isinstance(clause, RangeClause):
+            try:
+                values = self._continuous[clause.attribute]
+            except KeyError:
+                raise PredicateError(
+                    f"no continuous attribute {clause.attribute!r} in evaluator"
+                ) from None
+            return clause.mask_values(values)
+        if isinstance(clause, SetClause):
+            try:
+                codes = self._codes[clause.attribute]
+                code_of = self._code_of[clause.attribute]
+            except KeyError:
+                raise PredicateError(
+                    f"no discrete attribute {clause.attribute!r} in evaluator"
+                ) from None
+            wanted = [code_of[v] for v in clause.values if v in code_of]
+            if not wanted:
+                return np.zeros(self.n_rows, dtype=bool)
+            if len(wanted) == 1:
+                return codes == wanted[0]
+            return np.isin(codes, np.asarray(wanted, dtype=np.int64))
+        raise PredicateError(f"unknown clause kind {type(clause).__name__}")
+
+    def mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean mask of rows satisfying the conjunction."""
+        mask = np.ones(self.n_rows, dtype=bool)
+        for clause in predicate:
+            mask &= self.clause_mask(clause)
+        return mask

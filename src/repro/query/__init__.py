@@ -1,0 +1,27 @@
+"""Group-by aggregate query engine with backwards provenance.
+
+This package implements the query side of Figure 2's architecture: users
+run a select–project–group-by query over a :class:`~repro.table.Table`,
+the engine produces :class:`~repro.query.result.AggregateResult` rows, and
+the :mod:`~repro.query.provenance` component maps any labeled result back
+to its *input group* ``g_αi`` — the rows of ``D`` that produced it.
+
+A small SQL dialect (:func:`~repro.query.sql.parse_query`) covers the
+paper's query shapes, e.g.::
+
+    SELECT avg(temp) FROM sensors GROUP BY time
+    SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date
+"""
+
+from repro.query.groupby import GroupByQuery
+from repro.query.provenance import Provenance
+from repro.query.result import AggregateResult, ResultSet
+from repro.query.sql import parse_query
+
+__all__ = [
+    "AggregateResult",
+    "GroupByQuery",
+    "Provenance",
+    "ResultSet",
+    "parse_query",
+]

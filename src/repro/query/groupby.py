@@ -1,0 +1,103 @@
+"""The group-by aggregate query ``Q`` (paper Section 3.1).
+
+``GroupByQuery`` captures a select–project–group-by query with a single
+aggregate: the group-by attributes ``A_gb``, the aggregate attribute
+``A_agg``, and an optional row filter (the paper's queries use WHERE
+clauses for date ranges and candidate names).  Executing it yields a
+:class:`~repro.query.result.ResultSet` whose rows carry provenance.
+
+The attribute partition the paper defines falls out of the query:
+``A_rest = A − A_gb − A_agg`` are the attributes Scorpion builds
+explanations from (minus any the user explicitly ignores).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.aggregates.base import AggregateFunction
+from repro.errors import AggregateError, QueryError
+from repro.query.result import AggregateResult, ResultSet
+from repro.table.table import Table
+
+
+class GroupByQuery:
+    """``SELECT agg(agg_column), group_by FROM table [WHERE ...] GROUP BY group_by``.
+
+    Parameters
+    ----------
+    group_by:
+        One or more group-by attribute names (``A_gb``).
+    aggregate:
+        The aggregate function instance.
+    agg_column:
+        The aggregated attribute (``A_agg``); must be continuous and must
+        not appear in ``group_by`` (the paper requires
+        ``A_agg ∩ A_gb = ∅``).
+    where:
+        Optional row filter applied before grouping, as a function from
+        :class:`Table` to a boolean mask.
+    """
+
+    def __init__(self, group_by: Sequence[str] | str, aggregate: AggregateFunction,
+                 agg_column: str, where: Callable[[Table], np.ndarray] | None = None):
+        if isinstance(group_by, str):
+            group_by = (group_by,)
+        group_by = tuple(group_by)
+        if not group_by:
+            raise QueryError("group-by queries need at least one group-by attribute")
+        if agg_column in group_by:
+            raise QueryError(
+                f"aggregate attribute {agg_column!r} may not also be a group-by attribute"
+            )
+        if not isinstance(aggregate, AggregateFunction):
+            raise QueryError(f"aggregate must be an AggregateFunction, got {aggregate!r}")
+        self.group_by = group_by
+        self.aggregate = aggregate
+        self.agg_column = agg_column
+        self.where = where
+
+    def rest_attributes(self, table: Table, ignore: Sequence[str] = ()) -> tuple[str, ...]:
+        """``A_rest``: explanation attributes for this query over ``table``."""
+        excluded = set(self.group_by) | {self.agg_column} | set(ignore)
+        for name in excluded:
+            table.schema[name]  # validate names early
+        return tuple(n for n in table.schema.names if n not in excluded)
+
+    def filtered(self, table: Table) -> Table:
+        """``table`` with the WHERE clause applied (the effective ``D``)."""
+        for name in self.group_by:
+            table.schema[name]
+        spec = table.schema[self.agg_column]
+        if not spec.is_continuous:
+            raise QueryError(f"aggregate attribute {self.agg_column!r} must be continuous")
+        if self.where is None:
+            return table
+        mask = np.asarray(self.where(table), dtype=bool)
+        if mask.shape != (len(table),):
+            raise QueryError("WHERE mask length does not match table length")
+        return table.filter(mask)
+
+    def execute(self, table: Table) -> ResultSet:
+        """Run the query, returning results with provenance indices.
+
+        Provenance indices refer to rows of :meth:`filtered`'s output (the
+        effective input relation ``D``), which is also what Scorpion
+        receives as its dataset.
+        """
+        data = self.filtered(table)
+        agg_values = data.values(self.agg_column)
+        results = []
+        for key, indices in data.group_indices(self.group_by).items():
+            try:
+                value = self.aggregate.compute(agg_values[indices])
+            except AggregateError as exc:  # pragma: no cover - empty groups cannot occur
+                raise QueryError(f"aggregate failed on group {key!r}: {exc}") from exc
+            results.append(AggregateResult(key=key, value=value, indices=indices))
+        return ResultSet(results, self.group_by, self.aggregate.name, self.agg_column)
+
+    def __repr__(self) -> str:
+        return (f"GroupByQuery({self.aggregate.name}({self.agg_column}) "
+                f"GROUP BY {', '.join(self.group_by)})")

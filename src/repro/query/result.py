@@ -1,0 +1,117 @@
+"""Aggregate query results: the ``α`` tuples of the paper.
+
+Each :class:`AggregateResult` carries its group key, its aggregate value,
+and — crucially for Scorpion — the row indices of its input group
+``g_αi`` inside the queried table.  A :class:`ResultSet` is the ordered
+collection ``α = {α_1, …, α_n}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """One output row ``α_i`` of a group-by aggregate query.
+
+    Attributes
+    ----------
+    key:
+        Group-by key as a tuple (single-attribute keys are 1-tuples).
+    value:
+        The aggregate result ``α_i.res``.
+    indices:
+        Row indices (into the queried table) of the input group ``g_αi``.
+    """
+
+    key: tuple
+    value: float
+    indices: np.ndarray = field(repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        indices.setflags(write=False)
+        object.__setattr__(self, "indices", indices)
+
+    @property
+    def group_size(self) -> int:
+        """``|g_αi|`` — number of input tuples behind this result."""
+        return len(self.indices)
+
+    def key_string(self) -> str:
+        """Human-readable group key (drops the 1-tuple parentheses)."""
+        if len(self.key) == 1:
+            return str(self.key[0])
+        return str(self.key)
+
+
+class ResultSet:
+    """Ordered aggregate results with lookup by key.
+
+    Results are sorted by group key at construction so query output is
+    deterministic regardless of input row order.
+    """
+
+    def __init__(self, results: Sequence[AggregateResult], group_by: tuple[str, ...],
+                 aggregate_name: str, aggregate_column: str):
+        results = list(results)
+        seen: set[tuple] = set()
+        for result in results:
+            if result.key in seen:
+                raise QueryError(f"duplicate group key {result.key!r}")
+            seen.add(result.key)
+        try:
+            results.sort(key=lambda r: r.key)
+        except TypeError:
+            results.sort(key=lambda r: tuple(repr(k) for k in r.key))
+        self._results = results
+        self._by_key = {r.key: r for r in results}
+        self.group_by = tuple(group_by)
+        self.aggregate_name = aggregate_name
+        self.aggregate_column = aggregate_column
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[AggregateResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> AggregateResult:
+        return self._results[index]
+
+    def by_key(self, key) -> AggregateResult:
+        """Result whose group key equals ``key`` (scalars are wrapped)."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise QueryError(f"no result with group key {key!r}") from None
+
+    def keys(self) -> list[tuple]:
+        return [r.key for r in self._results]
+
+    def values(self) -> np.ndarray:
+        return np.asarray([r.value for r in self._results], dtype=np.float64)
+
+    def to_string(self) -> str:
+        """Render like the paper's Table 2 (key column + aggregate column)."""
+        header = [", ".join(self.group_by), f"{self.aggregate_name}({self.aggregate_column})"]
+        rows = [[r.key_string(), f"{r.value:.6g}"] for r in self._results]
+        widths = [max(len(header[j]), *(len(row[j]) for row in rows)) if rows else len(header[j])
+                  for j in range(2)]
+        lines = ["  ".join(header[j].rjust(widths[j]) for j in range(2))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(row[j].rjust(widths[j]) for j in range(2)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ResultSet({self.aggregate_name}({self.aggregate_column}) "
+                f"BY {','.join(self.group_by)}, n={len(self)})")

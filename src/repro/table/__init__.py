@@ -1,0 +1,32 @@
+"""Columnar in-memory relational substrate.
+
+Scorpion operates over a single relation ``D`` (joins are modelled by
+materializing the join result, per the paper's Section 3.1).  This package
+provides that relation: a typed, immutable-by-convention columnar table
+backed by numpy arrays, with the vectorized mask/filter operations the
+influence scorer and the partitioning algorithms rely on.
+
+The public surface:
+
+* :class:`~repro.table.schema.ColumnKind` — ``CONTINUOUS`` or ``DISCRETE``.
+* :class:`~repro.table.schema.ColumnSpec` / :class:`~repro.table.schema.Schema`
+  — column typing and attribute-role bookkeeping.
+* :class:`~repro.table.column.Column` — one typed column.
+* :class:`~repro.table.table.Table` — the relation.
+* :func:`~repro.table.io.read_csv` / :func:`~repro.table.io.write_csv`.
+"""
+
+from repro.table.column import Column
+from repro.table.io import read_csv, write_csv
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+from repro.table.table import Table
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "ColumnSpec",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+]

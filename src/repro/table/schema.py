@@ -1,0 +1,145 @@
+"""Schema objects: column kinds, column specs, and table schemas.
+
+Scorpion's predicate language distinguishes exactly two attribute kinds
+(paper Section 3.1): *continuous* attributes receive range clauses and
+*discrete* attributes receive set-containment clauses.  The schema layer
+records that distinction once so every downstream component (predicate
+enumeration, the DT split search, the MC grid) agrees on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+class ColumnKind(enum.Enum):
+    """The two attribute kinds Scorpion's predicate language knows about."""
+
+    CONTINUOUS = "continuous"
+    DISCRETE = "discrete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and kind of one column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty identifier-like string.
+    kind:
+        Whether the column holds continuous (float) or discrete
+        (categorical) values.
+    """
+
+    name: str
+    kind: ColumnKind
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.kind, ColumnKind):
+            raise SchemaError(f"column kind must be a ColumnKind, got {self.kind!r}")
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.kind is ColumnKind.CONTINUOUS
+
+    @property
+    def is_discrete(self) -> bool:
+        return self.kind is ColumnKind.DISCRETE
+
+
+class Schema:
+    """An ordered collection of uniquely named :class:`ColumnSpec` objects.
+
+    The schema is immutable; deriving a new schema (e.g. for a projection)
+    creates a new object.
+
+    >>> s = Schema([ColumnSpec("temp", ColumnKind.CONTINUOUS),
+    ...             ColumnSpec("sensorid", ColumnKind.DISCRETE)])
+    >>> s["temp"].is_continuous
+    True
+    >>> s.names
+    ('temp', 'sensorid')
+    """
+
+    def __init__(self, specs: Iterable[ColumnSpec]):
+        specs = tuple(specs)
+        seen: set[str] = set()
+        for spec in specs:
+            if not isinstance(spec, ColumnSpec):
+                raise SchemaError(f"expected ColumnSpec, got {spec!r}")
+            if spec.name in seen:
+                raise SchemaError(f"duplicate column name {spec.name!r}")
+            seen.add(spec.name)
+        self._specs = specs
+        self._by_name = {spec.name: spec for spec in specs}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(spec.name for spec in self._specs)
+
+    @property
+    def specs(self) -> tuple[ColumnSpec, ...]:
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {sorted(self._by_name)}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{s.name}:{s.kind.value[:4]}" for s in self._specs)
+        return f"Schema({cols})"
+
+    def kind_of(self, name: str) -> ColumnKind:
+        """Return the :class:`ColumnKind` of column ``name``."""
+        return self[name].kind
+
+    def continuous_names(self) -> tuple[str, ...]:
+        """Names of all continuous columns, in order."""
+        return tuple(s.name for s in self._specs if s.is_continuous)
+
+    def discrete_names(self) -> tuple[str, ...]:
+        """Names of all discrete columns, in order."""
+        return tuple(s.name for s in self._specs if s.is_discrete)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names``, in the given order."""
+        return Schema(self[name] for name in names)
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema with the given column names removed."""
+        dropped = set(names)
+        for name in dropped:
+            self[name]  # raise SchemaError on unknown names
+        return Schema(s for s in self._specs if s.name not in dropped)

@@ -1,0 +1,76 @@
+"""Tree nodes: every node is a predicate box over the split attributes.
+
+The node tracks its box as a ``{attribute: Clause}`` dict so leaves can
+be emitted directly as Scorpion predicates, plus an arbitrary ``payload``
+slot the owning algorithm uses (row indices for the plain regression
+tree; per-group samples for the DT partitioner).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.predicates.clause import Clause
+from repro.predicates.predicate import Predicate
+from repro.tree.splits import Split
+
+
+class TreeNode:
+    """One node of a (binary) space-partitioning tree."""
+
+    def __init__(self, clauses: dict[str, Clause], depth: int = 0, payload=None):
+        self.clauses = dict(clauses)
+        self.depth = depth
+        self.payload = payload
+        self.split: Split | None = None
+        self.left: "TreeNode | None" = None
+        self.right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def predicate(self) -> Predicate:
+        """The node's box as a predicate."""
+        return Predicate(self.clauses.values())
+
+    def bisect(self, split: Split, left_payload=None, right_payload=None,
+               ) -> tuple["TreeNode", "TreeNode"]:
+        """Attach two children produced by ``split`` and return them."""
+        parent_clause = self.clauses[split.attribute]
+        left_clause, right_clause = split.child_clauses(parent_clause)
+        left_clauses = dict(self.clauses)
+        left_clauses[split.attribute] = left_clause
+        right_clauses = dict(self.clauses)
+        right_clauses[split.attribute] = right_clause
+        self.split = split
+        self.left = TreeNode(left_clauses, self.depth + 1, left_payload)
+        self.right = TreeNode(right_clauses, self.depth + 1, right_payload)
+        return self.left, self.right
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """All leaves under this node, left to right."""
+        if self.is_leaf:
+            yield self
+            return
+        assert self.left is not None and self.right is not None
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def depth_below(self) -> int:
+        """Height of the subtree rooted here (0 for a leaf)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth_below(), self.right.depth_below())
+
+    def count_nodes(self) -> int:
+        """Number of nodes in this subtree (including this one)."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+    def __repr__(self) -> str:
+        role = "leaf" if self.is_leaf else f"split[{self.split}]"
+        return f"TreeNode(depth={self.depth}, {role}, box={self.predicate()})"

@@ -1,0 +1,145 @@
+"""A standalone CART-style regression tree over a :class:`Table`.
+
+This is the classic algorithm the DT partitioner extends (paper
+Section 6.1.1): nodes recursively bisect on the (attribute, value) pair
+minimizing the size-weighted child standard deviation, stopping on an
+error threshold, a minimum node size, or a maximum depth.  Leaves
+predict the mean target of their rows.
+
+It doubles as a generally useful substrate — e.g. the PerfXplain-style
+baseline of building a decision tree over labeled tuples — and gives the
+split primitives an independently tested consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionerError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+from repro.table.table import Table
+from repro.tree.node import TreeNode
+from repro.tree.splits import best_split, candidate_splits, node_error
+
+
+class RegressionTree:
+    """Fit a piecewise-constant model of ``target`` over ``attributes``.
+
+    Parameters
+    ----------
+    attributes:
+        Feature column names (continuous and discrete both supported).
+    min_samples:
+        Do not split nodes with fewer rows than this.
+    max_depth:
+        Hard depth cap.
+    error_threshold:
+        Stop splitting once the node's target standard deviation is at or
+        below this.
+    max_split_candidates:
+        Candidate thresholds/values evaluated per attribute per node.
+    """
+
+    def __init__(self, attributes: list[str], min_samples: int = 10,
+                 max_depth: int = 12, error_threshold: float = 0.0,
+                 max_split_candidates: int = 8):
+        if not attributes:
+            raise PartitionerError("the tree needs at least one attribute")
+        if min_samples < 2:
+            raise PartitionerError(f"min_samples must be >= 2, got {min_samples}")
+        self.attributes = list(attributes)
+        self.min_samples = min_samples
+        self.max_depth = max_depth
+        self.error_threshold = error_threshold
+        self.max_split_candidates = max_split_candidates
+        self.root: TreeNode | None = None
+        self._table: Table | None = None
+        self._leaf_means: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, target: np.ndarray) -> "RegressionTree":
+        """Grow the tree on ``table``'s rows with the given targets."""
+        target = np.asarray(target, dtype=np.float64)
+        if len(target) != len(table):
+            raise PartitionerError(
+                f"target has {len(target)} rows, table has {len(table)}"
+            )
+        if len(table) == 0:
+            raise PartitionerError("cannot fit a tree on an empty table")
+        self._table = table
+        clauses = {}
+        for name in self.attributes:
+            spec = table.schema[name]
+            column = table.column(name)
+            if spec.is_continuous:
+                clauses[name] = RangeClause(name, column.min(), column.max())
+            else:
+                clauses[name] = SetClause(name, column.distinct())
+        self.root = TreeNode(clauses, depth=0,
+                             payload=np.arange(len(table), dtype=np.int64))
+        self._grow(self.root, target)
+        self._leaf_means = {
+            id(leaf): float(np.mean(target[leaf.payload]))
+            for leaf in self.root.leaves()
+        }
+        return self
+
+    def _grow(self, node: TreeNode, target: np.ndarray) -> None:
+        rows: np.ndarray = node.payload
+        node_targets = target[rows]
+        if (len(rows) < self.min_samples
+                or node.depth >= self.max_depth
+                or node_error(node_targets) <= self.error_threshold):
+            return
+        assert self._table is not None
+        splits = []
+        values_by_split = []
+        for name in self.attributes:
+            spec = self._table.schema[name]
+            kind = "range" if spec.is_continuous else "set"
+            values = self._table.values(name)[rows]
+            for split in candidate_splits(name, kind, values, self.max_split_candidates):
+                splits.append(split)
+                values_by_split.append(values)
+        choice = best_split(splits, values_by_split, node_targets,
+                            min_child_size=max(self.min_samples // 2, 1))
+        if choice is None:
+            return
+        split, error = choice
+        if error >= node_error(node_targets):
+            return  # no variance reduction; splitting further is noise
+        attr_values = self._table.values(split.attribute)[rows]
+        left_mask = split.left_mask(attr_values)
+        left, right = node.bisect(split, rows[left_mask], rows[~left_mask])
+        self._grow(left, target)
+        self._grow(right, target)
+
+    # ------------------------------------------------------------------
+    # Inspection / prediction
+    # ------------------------------------------------------------------
+    def leaves(self) -> list[TreeNode]:
+        if self.root is None:
+            raise PartitionerError("tree is not fitted")
+        return list(self.root.leaves())
+
+    def leaf_predicates(self) -> list[Predicate]:
+        """The fitted space partitioning as predicates."""
+        return [leaf.predicate() for leaf in self.leaves()]
+
+    def predict(self, table: Table) -> np.ndarray:
+        """Leaf-mean prediction for each row of ``table``."""
+        if self.root is None:
+            raise PartitionerError("tree is not fitted")
+        out = np.full(len(table), np.nan, dtype=np.float64)
+        for leaf in self.root.leaves():
+            mask = leaf.predicate().mask(table)
+            out[mask] = self._leaf_means[id(leaf)]
+        return out
+
+    def depth(self) -> int:
+        if self.root is None:
+            raise PartitionerError("tree is not fitted")
+        return self.root.depth_below()

@@ -1,0 +1,100 @@
+"""Shared fixtures: the paper's running example and small helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates import Avg, Sum
+from repro.core.problem import ScorpionQuery
+from repro.query.groupby import GroupByQuery
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+SENSOR_SCHEMA = Schema([
+    ColumnSpec("time", ColumnKind.DISCRETE),
+    ColumnSpec("sensorid", ColumnKind.DISCRETE),
+    ColumnSpec("voltage", ColumnKind.CONTINUOUS),
+    ColumnSpec("humidity", ColumnKind.CONTINUOUS),
+    ColumnSpec("temp", ColumnKind.CONTINUOUS),
+])
+
+# Table 1 of the paper, verbatim.
+SENSOR_ROWS = [
+    ("11AM", 1, 2.64, 0.4, 34.0),
+    ("11AM", 2, 2.65, 0.5, 35.0),
+    ("11AM", 3, 2.63, 0.4, 35.0),
+    ("12PM", 1, 2.70, 0.3, 35.0),
+    ("12PM", 2, 2.70, 0.5, 35.0),
+    ("12PM", 3, 2.30, 0.4, 100.0),
+    ("1PM", 1, 2.70, 0.3, 35.0),
+    ("1PM", 2, 2.70, 0.5, 35.0),
+    ("1PM", 3, 2.30, 0.5, 80.0),
+]
+
+
+@pytest.fixture
+def sensors_table() -> Table:
+    """The paper's Table 1."""
+    return Table.from_rows(SENSOR_SCHEMA, SENSOR_ROWS)
+
+
+@pytest.fixture
+def q1(sensors_table) -> GroupByQuery:
+    """The paper's Q1: SELECT avg(temp) FROM sensors GROUP BY time."""
+    return GroupByQuery("time", Avg(), "temp")
+
+
+@pytest.fixture
+def paper_problem(sensors_table, q1) -> ScorpionQuery:
+    """Table 2's annotations: 12PM and 1PM are too-high outliers, 11AM is
+    the hold-out."""
+    return ScorpionQuery(
+        table=sensors_table,
+        query=q1,
+        outliers=["12PM", "1PM"],
+        holdouts=["11AM"],
+        error_vectors=+1.0,
+        c=1.0,
+    )
+
+
+def planted_sum_table(seed: int = 0, n_per_group: int = 100,
+                      n_groups: int = 4) -> tuple[Table, list, list]:
+    """A small SUM workload with a planted hot region in groups g0/g1:
+    rows with a1 ∈ [40, 60] and state = 'TX' carry value 50 instead of 1.
+
+    Returns (table, outlier_keys, holdout_keys).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_per_group * n_groups
+    groups = np.repeat([f"g{i}" for i in range(n_groups)], n_per_group)
+    a1 = rng.uniform(0, 100, n)
+    state = rng.choice(["CA", "NY", "TX", "WA"], n)
+    value = np.ones(n)
+    hot = (np.isin(groups, ["g0", "g1"]) & (state == "TX")
+           & (a1 >= 40) & (a1 <= 60))
+    value[hot] = 50.0
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("state", ColumnKind.DISCRETE),
+        ColumnSpec("value", ColumnKind.CONTINUOUS),
+    ])
+    table = Table.from_columns(schema, {
+        "g": groups, "a1": a1, "state": state, "value": value,
+    })
+    return table, ["g0", "g1"], [f"g{i}" for i in range(2, n_groups)]
+
+
+@pytest.fixture
+def sum_problem() -> ScorpionQuery:
+    """A planted-subspace SUM problem (anti-monotone, MC-compatible)."""
+    table, outliers, holdouts = planted_sum_table()
+    return ScorpionQuery(
+        table=table,
+        query=GroupByQuery("g", Sum(), "value"),
+        outliers=outliers,
+        holdouts=holdouts,
+        error_vectors=+1.0,
+        c=0.5,
+    )

@@ -1,0 +1,227 @@
+"""Unit + property tests for the aggregate framework (paper Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    Avg,
+    Count,
+    Max,
+    Median,
+    Min,
+    StdDev,
+    Sum,
+    Variance,
+    get_aggregate,
+    list_aggregates,
+    register_aggregate,
+)
+from repro.aggregates.base import AggregateFunction
+from repro.errors import AggregateError
+
+INCREMENTAL = [Sum(), Count(), Avg(), Variance(), StdDev()]
+BLACK_BOX = [Min(), Max(), Median()]
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+value_lists = st.lists(floats, min_size=1, max_size=60)
+
+
+class TestComputeValues:
+    def test_sum(self):
+        assert Sum().compute(np.asarray([1.0, 2.0, 3.0])) == 6.0
+
+    def test_count(self):
+        assert Count().compute(np.asarray([5.0, 5.0])) == 2.0
+
+    def test_avg(self):
+        assert Avg().compute(np.asarray([2.0, 4.0])) == 3.0
+
+    def test_variance_population(self):
+        assert Variance().compute(np.asarray([1.0, 3.0])) == pytest.approx(1.0)
+
+    def test_stddev(self):
+        assert StdDev().compute(np.asarray([1.0, 3.0])) == pytest.approx(1.0)
+
+    def test_min_max_median(self):
+        data = np.asarray([3.0, 1.0, 2.0])
+        assert Min().compute(data) == 1.0
+        assert Max().compute(data) == 3.0
+        assert Median().compute(data) == 2.0
+
+    def test_paper_q1_group_averages(self):
+        # Table 2 of the paper: avg temps 34.6, 56.6, 50.
+        avg = Avg()
+        assert avg.compute(np.asarray([34.0, 35, 35])) == pytest.approx(34.667, abs=1e-3)
+        assert avg.compute(np.asarray([35.0, 35, 100])) == pytest.approx(56.667, abs=1e-3)
+        assert avg.compute(np.asarray([35.0, 35, 80])) == pytest.approx(50.0)
+
+
+class TestEmptyInput:
+    def test_sum_count_have_empty_values(self):
+        assert Sum().compute(np.asarray([])) == 0.0
+        assert Count().compute(np.asarray([])) == 0.0
+
+    @pytest.mark.parametrize("agg", [Avg(), Variance(), StdDev(), Min(), Max(), Median()])
+    def test_undefined_on_empty(self, agg):
+        with pytest.raises(AggregateError):
+            agg.compute(np.asarray([]))
+
+
+class TestProperties:
+    def test_independence_flags(self):
+        for agg in INCREMENTAL:
+            assert agg.is_independent, agg.name
+        for agg in BLACK_BOX:
+            assert not agg.is_independent, agg.name
+
+    def test_incremental_flags(self):
+        for agg in INCREMENTAL:
+            assert agg.is_incrementally_removable, agg.name
+        for agg in BLACK_BOX:
+            assert not agg.is_incrementally_removable, agg.name
+
+    def test_count_always_anti_monotone(self):
+        assert Count().check(np.asarray([-5.0, 3.0]))
+
+    def test_max_always_anti_monotone(self):
+        assert Max().check(np.asarray([-5.0, 3.0]))
+
+    def test_sum_anti_monotone_only_non_negative(self):
+        assert Sum().check(np.asarray([0.0, 1.0]))
+        assert not Sum().check(np.asarray([-0.1, 1.0]))
+
+    def test_avg_not_anti_monotone(self):
+        assert not Avg().check(np.asarray([1.0, 2.0]))
+
+    def test_black_box_state_protocol_rejected(self):
+        with pytest.raises(AggregateError):
+            Min().state(np.asarray([1.0]))
+        with pytest.raises(AggregateError):
+            Median().tuple_states(np.asarray([1.0]))
+
+
+class TestStateProtocol:
+    """The Section 5.1 contract: recover(remove(state(D), state(S))) ==
+    compute(D − S)."""
+
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_state_update_remove_recover(self, agg):
+        data = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        subset = data[:2]
+        rest = data[2:]
+        removed = agg.remove(agg.state(data), agg.state(subset))
+        assert agg.recover(removed) == pytest.approx(agg.compute(rest))
+
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_update_combines_partitions(self, agg):
+        left = np.asarray([1.0, 2.0])
+        right = np.asarray([3.0, 4.0, 5.0])
+        combined = agg.update(agg.state(left), agg.state(right))
+        both = np.concatenate([left, right])
+        assert agg.recover(combined) == pytest.approx(agg.compute(both))
+
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_update_no_args_is_empty_state(self, agg):
+        assert agg.update().tolist() == [0.0] * agg.state_size
+
+    def test_remove_over_subtraction_rejected(self):
+        avg = Avg()
+        with pytest.raises(AggregateError, match="negative count"):
+            avg.remove(avg.state(np.asarray([1.0])), avg.state(np.asarray([1.0, 2.0])))
+
+    def test_update_wrong_shape_rejected(self):
+        with pytest.raises(AggregateError):
+            Avg().update(np.zeros(5))
+
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_tuple_states_sum_to_state(self, agg):
+        data = np.asarray([2.0, 4.0, 8.0])
+        np.testing.assert_allclose(agg.tuple_states(data).sum(axis=0), agg.state(data))
+
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_recover_batch_matches_recover(self, agg):
+        data = np.asarray([1.0, 5.0, 9.0, 2.0])
+        states = np.vstack([
+            agg.state(data),
+            agg.state(data[:2]),
+            agg.state(data[1:]),
+        ])
+        batch = agg.recover_batch(states)
+        for row, expected_data in zip(batch, [data, data[:2], data[1:]]):
+            assert row == pytest.approx(agg.compute(expected_data))
+
+    @pytest.mark.parametrize("agg", [Avg(), Variance(), StdDev()])
+    def test_recover_batch_empty_state_is_nan(self, agg):
+        empty = np.zeros((1, agg.state_size))
+        assert np.isnan(agg.recover_batch(empty)[0])
+
+    def test_recover_batch_default_loop_path(self):
+        class Weird(AggregateFunction):
+            name = "weird"
+
+            def compute(self, values):
+                return float(np.sum(values))
+
+        # The default recover_batch raises because the protocol is absent.
+        with pytest.raises(AggregateError):
+            Weird().recover_batch(np.zeros((1, 2)))
+
+
+class TestIncrementalRemovalProperty:
+    """Property-based check of Section 5.1 on random data and subsets."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=value_lists, data=st.data())
+    @pytest.mark.parametrize("agg", INCREMENTAL)
+    def test_matches_recompute(self, agg, values, data):
+        array = np.asarray(values)
+        mask_bits = data.draw(st.lists(
+            st.booleans(), min_size=len(array), max_size=len(array)))
+        mask = np.asarray(mask_bits, dtype=bool)
+        if mask.all():
+            mask[0] = False  # keep the remainder non-empty for AVG et al.
+        removed = agg.remove(agg.state(array), agg.state(array[mask]))
+        expected = agg.compute(array[~mask])
+        # Sum-of-squares states cancel catastrophically for huge values;
+        # the achievable absolute error scales with max(|v|)².
+        scale = 1.0 + float(np.max(np.abs(array))) ** 2
+        assert agg.recover(removed) == pytest.approx(
+            expected, rel=1e-6, abs=1e-9 * scale)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = list_aggregates()
+        for expected in ("sum", "count", "avg", "stddev", "variance",
+                         "min", "max", "median"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_aggregate("AVG").name == "avg"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AggregateError):
+            get_aggregate("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AggregateError):
+            register_aggregate(Sum())
+
+    def test_replace_allows_reregistration(self):
+        register_aggregate(Sum(), replace=True)
+        assert get_aggregate("sum") == Sum()
+
+    def test_custom_aggregate(self):
+        class Range(AggregateFunction):
+            name = "range_test_only"
+
+            def compute(self, values):
+                values = np.asarray(values, dtype=np.float64)
+                if len(values) == 0:
+                    raise AggregateError("range undefined on empty input")
+                return float(np.max(values) - np.min(values))
+
+        register_aggregate(Range(), replace=True)
+        assert get_aggregate("range_test_only").compute(np.asarray([1.0, 4.0])) == 3.0

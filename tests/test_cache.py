@@ -1,0 +1,94 @@
+"""Unit tests for cross-c caching (paper Section 8.3.3)."""
+
+import pytest
+
+from repro.core.cache import DTCache, query_signature
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.core.partition import ScoredPredicate
+from repro.core.scorpion import Scorpion
+from repro.predicates.clause import SetClause
+from repro.predicates.predicate import Predicate
+
+from tests.test_dt import avg_problem
+
+
+class TestSignature:
+    def test_signature_ignores_c(self):
+        problem = avg_problem(n_per_group=60)
+        assert query_signature(problem) == query_signature(problem.with_c(0.1))
+
+    def test_signature_sees_lambda(self):
+        problem = avg_problem(n_per_group=60)
+        other = avg_problem(n_per_group=60)
+        other.lam = 0.9
+        assert query_signature(problem) != query_signature(other)
+
+
+class TestDTCache:
+    def test_partitions_computed_once(self):
+        problem = avg_problem(n_per_group=120)
+        cache = DTCache()
+        partitioner = DTPartitioner(seed=0)
+        scorer = InfluenceScorer(problem)
+        first, cold_elapsed = cache.candidates(problem, partitioner, scorer)
+        second, warm_elapsed = cache.candidates(
+            problem.with_c(0.1), partitioner,
+            InfluenceScorer(problem.with_c(0.1)))
+        assert cache.partition_misses == 1
+        assert cache.partition_hits == 1
+        assert [c.predicate for c in first] == [c.predicate for c in second]
+        assert cold_elapsed > 0.0
+        assert warm_elapsed == 0.0
+
+    def test_merger_seeds_use_nearest_higher_c(self):
+        problem = avg_problem(n_per_group=60, c=1.0)
+        cache = DTCache()
+        cache.candidates(problem, DTPartitioner(seed=0), InfluenceScorer(problem))
+        p_high = Predicate([SetClause("g", ["g0"])])
+        p_mid = Predicate([SetClause("g", ["g1"])])
+        cache.store_merged(problem.with_c(1.0), [ScoredPredicate(p_high, 1.0)])
+        cache.store_merged(problem.with_c(0.5), [ScoredPredicate(p_mid, 2.0)])
+        seeds = cache.merger_seeds(problem.with_c(0.2))
+        assert seeds == [p_mid]
+
+    def test_no_seeds_for_higher_c(self):
+        problem = avg_problem(n_per_group=60, c=0.2)
+        cache = DTCache()
+        cache.candidates(problem, DTPartitioner(seed=0), InfluenceScorer(problem))
+        cache.store_merged(problem, [])
+        assert cache.merger_seeds(problem.with_c(0.5)) is None
+
+    def test_unknown_query_has_no_seeds(self):
+        cache = DTCache()
+        assert cache.merger_seeds(avg_problem(n_per_group=60)) is None
+
+    def test_clear(self):
+        problem = avg_problem(n_per_group=60)
+        cache = DTCache()
+        cache.candidates(problem, DTPartitioner(seed=0), InfluenceScorer(problem))
+        cache.clear()
+        assert cache.partition_misses == 0
+        cache.candidates(problem, DTPartitioner(seed=0), InfluenceScorer(problem))
+        assert cache.partition_misses == 1
+
+
+class TestScorpionCaching:
+    def test_c_sweep_with_cache_matches_without(self):
+        problem = avg_problem(n_per_group=200)
+        cached = Scorpion(algorithm="dt", use_cache=True)
+        uncached = Scorpion(algorithm="dt", use_cache=False)
+        for c in (0.5, 0.2, 0.0):
+            with_cache = cached.explain(problem.with_c(c))
+            without = uncached.explain(problem.with_c(c))
+            assert with_cache.best is not None and without.best is not None
+            # The warm-started search must be at least as good.
+            assert with_cache.best.influence >= without.best.influence - 1e-9
+
+    def test_cached_sweep_reuses_partitions(self):
+        problem = avg_problem(n_per_group=120)
+        scorpion = Scorpion(algorithm="dt", use_cache=True)
+        scorpion.explain(problem.with_c(0.5))
+        scorpion.explain(problem.with_c(0.1))
+        assert scorpion.cache.partition_hits == 1
+        assert scorpion.cache.partition_misses == 1

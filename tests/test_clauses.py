@@ -1,0 +1,210 @@
+"""Unit + property tests for range and set clauses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredicateError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+TABLE = Table.from_columns(
+    Schema([ColumnSpec("x", ColumnKind.CONTINUOUS),
+            ColumnSpec("s", ColumnKind.DISCRETE)]),
+    {"x": [0.0, 1.0, 2.0, 3.0], "s": ["a", "b", "a", "c"]},
+)
+
+
+class TestRangeClause:
+    def test_mask_closed(self):
+        clause = RangeClause("x", 1.0, 2.0)
+        assert clause.mask(TABLE).tolist() == [False, True, True, False]
+
+    def test_mask_half_open(self):
+        clause = RangeClause("x", 1.0, 2.0, include_hi=False)
+        assert clause.mask(TABLE).tolist() == [False, True, False, False]
+
+    def test_mask_values_matches_mask(self):
+        clause = RangeClause("x", 0.5, 2.5)
+        np.testing.assert_array_equal(
+            clause.mask_values(TABLE.values("x")), clause.mask(TABLE))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(PredicateError):
+            RangeClause("x", 2.0, 1.0)
+        with pytest.raises(PredicateError):
+            RangeClause("x", float("nan"), 1.0)
+        with pytest.raises(PredicateError):
+            RangeClause("x", 1.0, 1.0, include_hi=False)
+
+    def test_point_range_allowed_when_closed(self):
+        clause = RangeClause("x", 2.0, 2.0)
+        assert clause.mask(TABLE).tolist() == [False, False, True, False]
+
+    def test_contains(self):
+        outer = RangeClause("x", 0.0, 10.0)
+        inner = RangeClause("x", 2.0, 5.0)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_respects_open_top(self):
+        closed = RangeClause("x", 0.0, 5.0)
+        open_top = RangeClause("x", 0.0, 5.0, include_hi=False)
+        assert closed.contains(open_top)
+        assert not open_top.contains(closed)
+
+    def test_contains_other_attribute_false(self):
+        assert not RangeClause("x", 0, 10).contains(RangeClause("y", 1, 2))
+
+    def test_intersect(self):
+        a = RangeClause("x", 0.0, 5.0)
+        b = RangeClause("x", 3.0, 8.0)
+        got = a.intersect(b)
+        assert (got.lo, got.hi) == (3.0, 5.0)
+
+    def test_intersect_disjoint_is_none(self):
+        # Closed ranges touching at 1 intersect in the point [1, 1].
+        touch = RangeClause("x", 0, 1).intersect(RangeClause("x", 1, 2))
+        assert (touch.lo, touch.hi) == (1.0, 1.0)
+        assert RangeClause("x", 0.0, 0.5).intersect(
+            RangeClause("x", 0.6, 1.0)) is None
+
+    def test_intersect_open_boundary_is_none(self):
+        a = RangeClause("x", 0.0, 1.0, include_hi=False)
+        b = RangeClause("x", 1.0, 2.0)
+        got = a.intersect(b)
+        # [0,1) ∩ [1,2] is empty.
+        assert got is None
+
+    def test_intersect_mismatched_raises(self):
+        with pytest.raises(PredicateError):
+            RangeClause("x", 0, 1).intersect(SetClause("x", ["a"]))
+
+    def test_merge_is_bounding_range(self):
+        a = RangeClause("x", 0.0, 1.0, include_hi=False)
+        b = RangeClause("x", 3.0, 4.0)
+        merged = a.merge(b)
+        assert (merged.lo, merged.hi, merged.include_hi) == (0.0, 4.0, True)
+
+    def test_touches(self):
+        assert RangeClause("x", 0, 1).touches(RangeClause("x", 1, 2))
+        assert not RangeClause("x", 0, 1).touches(RangeClause("x", 1.1, 2))
+
+    def test_width(self):
+        assert RangeClause("x", 1.0, 3.5).width == 2.5
+
+    def test_equality_hash(self):
+        assert RangeClause("x", 0, 1) == RangeClause("x", 0, 1)
+        assert hash(RangeClause("x", 0, 1)) == hash(RangeClause("x", 0, 1))
+        assert RangeClause("x", 0, 1) != RangeClause("x", 0, 1, include_hi=False)
+
+    def test_str(self):
+        assert str(RangeClause("x", 0, 1, include_hi=False)) == "x in [0, 1)"
+
+
+class TestSetClause:
+    def test_mask(self):
+        clause = SetClause("s", ["a"])
+        assert clause.mask(TABLE).tolist() == [True, False, True, False]
+
+    def test_mask_values_matches_mask(self):
+        clause = SetClause("s", ["a", "c"])
+        np.testing.assert_array_equal(
+            clause.mask_values(TABLE.values("s")), clause.mask(TABLE))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PredicateError):
+            SetClause("s", [])
+
+    def test_contains(self):
+        assert SetClause("s", ["a", "b"]).contains(SetClause("s", ["a"]))
+        assert not SetClause("s", ["a"]).contains(SetClause("s", ["a", "b"]))
+
+    def test_intersect(self):
+        got = SetClause("s", ["a", "b"]).intersect(SetClause("s", ["b", "c"]))
+        assert got.values == frozenset(["b"])
+
+    def test_intersect_disjoint_is_none(self):
+        assert SetClause("s", ["a"]).intersect(SetClause("s", ["b"])) is None
+
+    def test_merge_is_union(self):
+        got = SetClause("s", ["a"]).merge(SetClause("s", ["b"]))
+        assert got.values == frozenset(["a", "b"])
+
+    def test_difference(self):
+        got = SetClause("s", ["a", "b"]).difference(SetClause("s", ["b"]))
+        assert got.values == frozenset(["a"])
+        assert SetClause("s", ["b"]).difference(SetClause("s", ["b"])) is None
+
+    def test_touches_same_attribute_always(self):
+        assert SetClause("s", ["a"]).touches(SetClause("s", ["z"]))
+        assert not SetClause("s", ["a"]).touches(SetClause("t", ["a"]))
+
+    def test_str_single_and_multi(self):
+        assert str(SetClause("s", ["a"])) == "s = a"
+        assert "in (" in str(SetClause("s", ["a", "b"]))
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(PredicateError):
+            SetClause("s", ["a"]).merge(RangeClause("s", 0, 1))
+
+
+bounds = st.tuples(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+).map(lambda pair: (min(pair), max(pair)))
+
+
+class TestRangeAlgebraProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(a=bounds, b=bounds)
+    def test_intersect_symmetric_and_contained(self, a, b):
+        ca = RangeClause("x", *a)
+        cb = RangeClause("x", *b)
+        ab = ca.intersect(cb)
+        ba = cb.intersect(ca)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+            assert ca.contains(ab) and cb.contains(ab)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=bounds, b=bounds)
+    def test_merge_contains_both(self, a, b):
+        ca = RangeClause("x", *a)
+        cb = RangeClause("x", *b)
+        merged = ca.merge(cb)
+        assert merged.contains(ca) and merged.contains(cb)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=bounds, b=bounds,
+           values=st.lists(st.floats(min_value=-100, max_value=100,
+                                     allow_nan=False), max_size=30))
+    def test_intersection_mask_is_conjunction(self, a, b, values):
+        ca = RangeClause("x", *a)
+        cb = RangeClause("x", *b)
+        array = np.asarray(values, dtype=np.float64)
+        both = ca.mask_values(array) & cb.mask_values(array)
+        inter = ca.intersect(cb)
+        if inter is None:
+            assert not both.any()
+        else:
+            np.testing.assert_array_equal(inter.mask_values(array), both)
+
+
+class TestSetAlgebraProperties:
+    values_sets = st.sets(st.sampled_from("abcdefgh"), min_size=1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=values_sets, b=values_sets)
+    def test_merge_and_intersect_consistent(self, a, b):
+        ca = SetClause("s", a)
+        cb = SetClause("s", b)
+        merged = ca.merge(cb)
+        assert merged.values == a | b
+        inter = ca.intersect(cb)
+        if a & b:
+            assert inter.values == a & b
+        else:
+            assert inter is None

@@ -1,0 +1,137 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, run
+from repro.table import write_csv
+
+from tests.conftest import SENSOR_ROWS, SENSOR_SCHEMA
+from repro.table.table import Table
+
+
+@pytest.fixture
+def sensors_csv(tmp_path):
+    path = tmp_path / "sensors.csv"
+    write_csv(Table.from_rows(SENSOR_SCHEMA, SENSOR_ROWS), path)
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = run(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_required_arguments(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args([
+            "--csv", "x.csv", "--query", "q", "--outliers", "a"])
+        assert args.direction == "high"
+        assert args.c == 0.5
+        assert args.top_k == 3
+
+
+class TestRun:
+    def test_end_to_end(self, sensors_csv):
+        code, output = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM,1PM",
+            "--holdouts", "11AM",
+            "--c", "0.5",
+            "--algorithm", "naive",
+        ])
+        assert code == 0
+        assert "algorithm: naive" in output
+        assert "voltage" in output or "sensorid" in output
+        assert "->" in output  # updated outputs section
+
+    def test_explore_c(self, sensors_csv):
+        code, output = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM,1PM",
+            "--holdouts", "11AM",
+            "--algorithm", "naive",
+            "--explore-c",
+        ])
+        assert code == 0
+        assert "c-ladder" in output
+
+    def test_ignore_attributes(self, sensors_csv):
+        code, output = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM",
+            "--ignore", "humidity,voltage",
+            "--algorithm", "naive",
+        ])
+        assert code == 0
+        assert "humidity" not in output
+        assert "voltage" not in output
+
+    def test_missing_outlier_key_is_reported(self, sensors_csv, capsys):
+        code, _ = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "3AM",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_csv_is_reported(self, capsys):
+        code, _ = _run([
+            "--csv", "/nonexistent/file.csv",
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_sql_is_reported(self, sensors_csv, capsys):
+        code, _ = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg temp FROM sensors GROUP BY time",
+            "--outliers", "12PM",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_outliers_rejected(self, sensors_csv, capsys):
+        code, _ = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", " , ",
+        ])
+        assert code == 2
+
+    def test_numeric_group_keys_coerced(self, tmp_path):
+        import numpy as np
+        from repro.table import ColumnKind, ColumnSpec, Schema
+        rng = np.random.default_rng(0)
+        rows = []
+        for g in (1, 2, 3, 4):
+            for _ in range(30):
+                value = 100.0 if (g <= 2 and rng.uniform() < 0.3) else 10.0
+                rows.append((str(g), rng.uniform(0, 100), value))
+        schema = Schema([ColumnSpec("g", ColumnKind.DISCRETE),
+                         ColumnSpec("x", ColumnKind.CONTINUOUS),
+                         ColumnSpec("v", ColumnKind.CONTINUOUS)])
+        path = tmp_path / "t.csv"
+        write_csv(Table.from_rows(schema, rows), path)
+        code, output = _run([
+            "--csv", str(path),
+            "--query", "SELECT avg(v) FROM t GROUP BY g",
+            "--outliers", "1,2",
+            "--holdouts", "3,4",
+            "--algorithm", "dt",
+        ])
+        assert code == 0
+        assert "algorithm: dt" in output

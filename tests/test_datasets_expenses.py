@@ -1,0 +1,129 @@
+"""Unit tests for the campaign-expenses generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.expenses import (
+    GROUND_TRUTH_AMOUNT,
+    ExpensesConfig,
+    generate_expenses,
+)
+from repro.errors import DatasetError
+
+
+def tiny():
+    return generate_expenses(ExpensesConfig(
+        n_days=40, rows_per_day=30, n_recipients=50, n_cities=10,
+        n_zips=10, n_outlier_days=3, seed=1))
+
+
+class TestStructure:
+    def test_schema_shape(self):
+        # 12 explanation attributes (paper Section 8.1) + date, candidate,
+        # and the aggregated amount.
+        ds = tiny()
+        assert ds.table.num_columns == 15
+        assert ds.table.schema["disb_amt"].is_continuous
+        discrete = [s for s in ds.table.schema if s.is_discrete]
+        assert len(discrete) == 14
+
+    def test_outlier_and_holdout_days(self):
+        ds = tiny()
+        assert len(ds.outlier_keys) == 3
+        assert len(ds.holdout_keys) == 27
+        assert not set(ds.outlier_keys) & set(ds.holdout_keys)
+
+    def test_reproducible(self):
+        assert tiny().table == tiny().table
+
+    def test_other_candidates_present(self):
+        ds = tiny()
+        candidates = set(ds.table.column("candidate").distinct())
+        assert "Obama" in candidates and len(candidates) > 1
+
+
+class TestOutlierDays:
+    def test_outlier_day_totals_exceed_10m(self):
+        ds = tiny()
+        results = ds.query().execute(ds.table)
+        for day in ds.outlier_keys:
+            assert results.by_key(day).value > 1e7
+
+    def test_typical_days_are_small(self):
+        ds = tiny()
+        results = ds.query().execute(ds.table)
+        for day in ds.holdout_keys:
+            assert results.by_key(day).value < 2e6
+
+    def test_gmmb_media_buys_on_outlier_days(self):
+        ds = tiny()
+        gmmb = ds.table.column("recipient_nm").membership_mask(["GMMB INC."])
+        days = set(ds.table.values("date")[gmmb])
+        assert days == set(ds.outlier_keys)
+
+    def test_ground_truth_is_over_threshold(self):
+        ds = tiny()
+        amounts = ds.table.values("disb_amt")
+        np.testing.assert_array_equal(ds.truth_mask,
+                                      amounts > GROUND_TRUTH_AMOUNT)
+
+    def test_truth_tuples_are_file_800316(self):
+        ds = tiny()
+        file_nums = ds.table.values("file_num")[ds.truth_mask]
+        assert set(file_nums) == {800316}
+
+    def test_sibling_report_below_threshold(self):
+        ds = tiny()
+        sibling = ds.table.column("file_num").membership_mask([800317])
+        amounts = ds.table.values("disb_amt")[sibling]
+        assert len(amounts) and (amounts <= GROUND_TRUTH_AMOUNT).all()
+
+
+class TestEffectiveViews:
+    def test_effective_table_only_obama(self):
+        ds = tiny()
+        effective = ds.effective_table()
+        assert set(effective.column("candidate").distinct()) == {"Obama"}
+
+    def test_effective_truth_mask_aligned(self):
+        ds = tiny()
+        effective = ds.effective_table()
+        mask = ds.effective_truth_mask()
+        assert mask.shape == (len(effective),)
+        amounts = effective.values("disb_amt")
+        np.testing.assert_array_equal(mask, amounts > GROUND_TRUTH_AMOUNT)
+
+    def test_outlier_row_indices_in_effective_frame(self):
+        ds = tiny()
+        rows = ds.outlier_row_indices()
+        effective = ds.effective_table()
+        days = set(effective.values("date")[rows])
+        assert days == set(ds.outlier_keys)
+
+    def test_scorpion_query_excludes_candidate_attribute(self):
+        problem = tiny().scorpion_query()
+        assert "candidate" not in problem.attributes
+        assert "date" not in problem.attributes
+        assert "disb_amt" not in problem.attributes
+        assert len(problem.attributes) == 12
+
+    def test_sum_check_passes_for_mc(self):
+        problem = tiny().scorpion_query()
+        from repro.core.influence import InfluenceScorer
+        scorer = InfluenceScorer(problem)
+        assert all(problem.aggregate.check(ctx.agg_values)
+                   for ctx in scorer.contexts)
+
+
+class TestConfigValidation:
+    def test_needs_enough_days(self):
+        with pytest.raises(DatasetError):
+            ExpensesConfig(n_days=20)
+
+    def test_needs_enough_rows(self):
+        with pytest.raises(DatasetError):
+            ExpensesConfig(rows_per_day=5)
+
+    def test_needs_recipients(self):
+        with pytest.raises(DatasetError):
+            ExpensesConfig(n_recipients=3)

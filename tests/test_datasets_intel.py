@@ -1,0 +1,128 @@
+"""Unit tests for the Intel sensor-trace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.intel import IntelConfig, generate_intel, make_intel
+from repro.errors import DatasetError
+
+
+def tiny(workload=1):
+    return generate_intel(IntelConfig(
+        workload=workload, n_sensors=20, n_hours=10,
+        readings_per_sensor_hour=4, failure_start=4, failure_hours=4))
+
+
+class TestStructure:
+    def test_row_count(self):
+        ds = tiny()
+        assert len(ds.table) == 20 * 10 * 4
+
+    def test_schema(self):
+        ds = tiny()
+        assert ds.table.schema.names == ("hour", "sensorid", "voltage",
+                                         "humidity", "light", "temp")
+
+    def test_annotations_partition_hours(self):
+        ds = tiny()
+        assert ds.outlier_keys == [4, 5, 6, 7]
+        assert set(ds.outlier_keys) | set(ds.holdout_keys) == set(range(10))
+
+    def test_failure_mask_matches_failing_sensor(self):
+        ds = tiny()
+        sensor = ds.table.values("sensorid")
+        hours = ds.table.values("hour")
+        expected = np.asarray(
+            [s == 15 and 4 <= h < 8 for s, h in zip(sensor, hours)])
+        np.testing.assert_array_equal(ds.failure_mask, expected)
+
+    def test_reproducible(self):
+        assert tiny().table == tiny().table
+
+
+class TestFailureModes:
+    def test_w1_voltage_band(self):
+        ds = tiny(workload=1)
+        failing = ds.table.values("voltage")[ds.failure_mask]
+        assert failing.min() >= 2.307 - 1e-9
+        assert failing.max() <= 2.33 + 1e-9
+
+    def test_w1_temperatures_above_100(self):
+        ds = tiny(workload=1)
+        temps = ds.table.values("temp")[ds.failure_mask]
+        assert temps.min() > 95.0
+
+    def test_w2_low_voltage(self):
+        ds = tiny(workload=2)
+        failing = ds.table.values("voltage")[ds.failure_mask]
+        normal = ds.table.values("voltage")[~ds.failure_mask]
+        assert failing.max() < normal.mean()
+
+    def test_w2_light_band_peaks(self):
+        ds = generate_intel(IntelConfig(
+            workload=2, n_sensors=20, n_hours=12, readings_per_sensor_hour=30,
+            failure_start=2, failure_hours=10))
+        temps = ds.table.values("temp")[ds.failure_mask]
+        light = ds.table.values("light")[ds.failure_mask]
+        in_band = (light >= 283) & (light <= 354)
+        assert in_band.any() and (~in_band).any()
+        assert temps[in_band].min() > temps[~in_band].max()
+
+    def test_normal_hours_have_low_stddev(self):
+        ds = tiny()
+        results = ds.query().execute(ds.table)
+        outlier_stddev = [results.by_key(k).value for k in ds.outlier_keys]
+        holdout_stddev = [results.by_key(k).value for k in ds.holdout_keys]
+        assert min(outlier_stddev) > 4 * max(holdout_stddev)
+
+    def test_windowed_query_template(self):
+        # The paper's WHERE STARTDATE ≤ time ≤ ENDDATE clause.
+        ds = tiny()
+        results = ds.query(start_hour=2, end_hour=5).execute(ds.table)
+        assert sorted(k[0] for k in results.keys()) == [2, 3, 4, 5]
+
+
+class TestFactories:
+    def test_w1_annotation_sizes_match_paper(self):
+        ds = make_intel(1, readings_per_sensor_hour=1)
+        assert len(ds.outlier_keys) == 20
+        assert len(ds.holdout_keys) == 13
+
+    def test_w2_annotation_sizes_match_paper(self):
+        ds = make_intel(2, readings_per_sensor_hour=1)
+        assert len(ds.outlier_keys) == 138
+        assert len(ds.holdout_keys) == 21
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(DatasetError):
+            make_intel(3)
+
+    def test_scorpion_query_attributes(self):
+        ds = tiny()
+        problem = ds.scorpion_query(c=0.5)
+        assert set(problem.attributes) == {"sensorid", "voltage",
+                                           "humidity", "light"}
+
+    def test_outlier_row_indices(self):
+        ds = tiny()
+        rows = ds.outlier_row_indices()
+        hours = set(ds.table.values("hour")[rows])
+        assert hours == set(ds.outlier_keys)
+
+
+class TestConfigValidation:
+    def test_failure_window_must_fit(self):
+        with pytest.raises(DatasetError):
+            IntelConfig(n_hours=10, failure_start=8, failure_hours=5)
+
+    def test_needs_normal_prefix(self):
+        with pytest.raises(DatasetError):
+            IntelConfig(failure_start=0, failure_hours=2, n_hours=10)
+
+    def test_workload_validated(self):
+        with pytest.raises(DatasetError):
+            IntelConfig(workload=9)
+
+    def test_failing_sensor_must_exist(self):
+        with pytest.raises(DatasetError, match="sensor 15"):
+            IntelConfig(workload=1, n_sensors=10)

@@ -1,0 +1,148 @@
+"""Unit tests for the SYNTH generator (paper Section 8.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    LABEL_HIGH,
+    LABEL_MEDIUM,
+    LABEL_NORMAL,
+    SynthConfig,
+    generate_synth,
+    make_synth,
+)
+from repro.errors import DatasetError
+
+
+def small(n_dims=2, mu=80.0, seed=0, per_group=200):
+    return generate_synth(SynthConfig(n_dims=n_dims, mu=mu, seed=seed,
+                                      tuples_per_group=per_group))
+
+
+class TestStructure:
+    def test_row_count(self):
+        ds = small()
+        assert len(ds.table) == 10 * 200
+
+    def test_schema(self):
+        ds = small(n_dims=3)
+        assert ds.table.schema.names == ("ad", "a1", "a2", "a3", "av")
+        assert ds.table.schema["ad"].is_discrete
+        assert ds.table.schema["av"].is_continuous
+
+    def test_half_groups_are_outliers(self):
+        ds = small()
+        assert len(ds.outlier_keys) == 5
+        assert len(ds.holdout_keys) == 5
+        assert not set(ds.outlier_keys) & set(ds.holdout_keys)
+
+    def test_values_clipped_non_negative(self):
+        ds = small(mu=30.0)
+        assert float(ds.table.values("av").min()) >= 0.0
+
+    def test_dimension_domain(self):
+        ds = small()
+        for dim in ("a1", "a2"):
+            values = ds.table.values(dim)
+            assert values.min() >= 0.0 and values.max() <= 100.0
+
+    def test_label_counts_follow_fractions(self):
+        ds = small(per_group=400)
+        per_group = 400
+        n_outer = round(0.25 * per_group)
+        n_inner = round(0.25 * n_outer)
+        assert int((ds.labels == LABEL_HIGH).sum()) == 5 * n_inner
+        assert int((ds.labels == LABEL_MEDIUM).sum()) == 5 * (n_outer - n_inner)
+
+    def test_holdout_groups_all_normal(self):
+        ds = small()
+        holdout_mask = ds.table.column("ad").membership_mask(ds.holdout_keys)
+        assert (ds.labels[holdout_mask] == LABEL_NORMAL).all()
+
+    def test_reproducible(self):
+        assert small(seed=3).table == small(seed=3).table
+
+    def test_seed_changes_data(self):
+        assert small(seed=1).table != small(seed=2).table
+
+
+class TestCubes:
+    def test_inner_nested_in_outer(self):
+        ds = small()
+        for (o_lo, o_hi), (i_lo, i_hi) in zip(ds.outer_cube, ds.inner_cube):
+            assert o_lo <= i_lo <= i_hi <= o_hi
+
+    def test_high_tuples_inside_inner_cube(self):
+        ds = small()
+        inner = ds.truth_inner()
+        high = ds.labels == LABEL_HIGH
+        assert (inner[high]).all()
+
+    def test_medium_tuples_in_shell(self):
+        ds = small()
+        medium = ds.labels == LABEL_MEDIUM
+        outer = ds.truth_outer()
+        inner = ds.truth_inner()
+        assert outer[medium].all()
+        assert not inner[medium].any()
+
+    def test_spatial_truth_contains_label_truth(self):
+        ds = small()
+        assert (~ds.label_outer() | ds.truth_outer()).all()
+        assert (~ds.label_inner() | ds.truth_inner()).all()
+
+
+class TestAggregateShape:
+    def test_outlier_groups_have_higher_sums(self):
+        ds = small(per_group=400)
+        results = ds.query().execute(ds.table)
+        outlier_values = [results.by_key(k).value for k in ds.outlier_keys]
+        holdout_values = [results.by_key(k).value for k in ds.holdout_keys]
+        assert min(outlier_values) > max(holdout_values)
+
+    def test_scorpion_query_wires_annotations(self):
+        ds = small()
+        problem = ds.scorpion_query(c=0.3)
+        assert problem.c == 0.3
+        assert len(problem.outlier_results) == 5
+        assert set(problem.attributes) == {"a1", "a2"}
+
+    def test_outlier_row_indices(self):
+        ds = small()
+        rows = ds.outlier_row_indices()
+        assert len(rows) == 5 * 200
+        keys = set(ds.table.values("ad")[rows])
+        assert keys == set(ds.outlier_keys)
+
+
+class TestNamedInstances:
+    def test_easy_hard_mu(self):
+        assert make_synth(2, "easy", tuples_per_group=50).config.mu == 80.0
+        assert make_synth(2, "hard", tuples_per_group=50).config.mu == 30.0
+
+    def test_dimensionality(self):
+        ds = make_synth(4, "easy", tuples_per_group=50)
+        assert ds.config.n_dims == 4
+        assert len(ds.outer_cube) == 4
+
+    def test_unknown_difficulty_rejected(self):
+        with pytest.raises(DatasetError):
+            make_synth(2, "medium")
+
+
+class TestConfigValidation:
+    def test_bad_dims(self):
+        with pytest.raises(DatasetError):
+            SynthConfig(n_dims=0)
+
+    def test_bad_groups(self):
+        with pytest.raises(DatasetError):
+            SynthConfig(n_groups=1)
+
+    def test_bad_fractions(self):
+        with pytest.raises(DatasetError):
+            SynthConfig(outer_fraction=1.5)
+
+    def test_bad_domain(self):
+        with pytest.raises(DatasetError):
+            SynthConfig(domain_lo=10, domain_hi=0)

@@ -1,0 +1,97 @@
+"""Unit tests for the equi-width discretizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredicateError
+from repro.predicates.discretizer import EquiWidthDiscretizer
+
+
+class TestCells:
+    def test_cells_tile_domain(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, 4)
+        cells = grid.cells()
+        assert len(cells) == 4
+        assert cells[0].lo == 0.0 and cells[-1].hi == 100.0
+
+    def test_interior_cells_half_open_last_closed(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 10.0, 2)
+        first, last = grid.cells()
+        assert not first.include_hi
+        assert last.include_hi
+
+    def test_cell_index_bounds(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 10.0, 2)
+        with pytest.raises(PredicateError):
+            grid.cell(2)
+        with pytest.raises(PredicateError):
+            grid.cell(-1)
+
+    def test_degenerate_domain_single_cell(self):
+        grid = EquiWidthDiscretizer("a", 5.0, 5.0, 15)
+        assert grid.n_bins == 1
+        assert grid.cell(0).mask_values(np.asarray([5.0])).tolist() == [True]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PredicateError):
+            EquiWidthDiscretizer("a", 0.0, 1.0, 0)
+        with pytest.raises(PredicateError):
+            EquiWidthDiscretizer("a", 2.0, 1.0, 3)
+
+
+class TestConsecutiveRanges:
+    def test_count_formula(self):
+        # The paper: quadratic growth — n(n+1)/2 consecutive ranges.
+        grid = EquiWidthDiscretizer("a", 0.0, 1.0, 15)
+        assert len(grid.consecutive_ranges()) == 15 * 16 // 2
+
+    def test_includes_full_domain(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 30.0, 3)
+        spans = [(r.lo, r.hi) for r in grid.consecutive_ranges()]
+        assert (0.0, 30.0) in spans
+
+    def test_top_ranges_closed(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 30.0, 3)
+        for clause in grid.consecutive_ranges():
+            assert clause.include_hi == (clause.hi == 30.0)
+
+
+class TestBinIndex:
+    def test_values_land_in_their_cell(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, 10)
+        for value in (0.0, 9.99, 10.0, 55.0, 99.9):
+            cell = grid.cell(grid.bin_index(value))
+            assert cell.mask_values(np.asarray([value]))[0]
+
+    def test_domain_max_lands_in_last_cell(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, 10)
+        assert grid.bin_index(100.0) == 9
+
+    def test_out_of_domain_clamped(self):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, 10)
+        assert grid.bin_index(-5.0) == 0
+        assert grid.bin_index(150.0) == 9
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(min_value=0, max_value=100, allow_nan=False),
+           n_bins=st.integers(min_value=1, max_value=20))
+    def test_bin_index_consistent_with_cells(self, value, n_bins):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, n_bins)
+        cell = grid.cell(grid.bin_index(value))
+        assert cell.mask_values(np.asarray([value]))[0]
+
+
+class TestCellPartitionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0, max_value=100,
+                                     allow_nan=False), min_size=1, max_size=40),
+           n_bins=st.integers(min_value=1, max_value=12))
+    def test_cells_partition_every_value(self, values, n_bins):
+        grid = EquiWidthDiscretizer("a", 0.0, 100.0, n_bins)
+        array = np.asarray(values)
+        membership = np.zeros(len(array), dtype=int)
+        for cell in grid.cells():
+            membership += cell.mask_values(array).astype(int)
+        assert (membership == 1).all()

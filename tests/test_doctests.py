@@ -1,0 +1,31 @@
+"""Run the doctests embedded in public docstrings so the examples shown
+to users stay correct."""
+
+import doctest
+
+import pytest
+
+import repro.predicates.clause
+import repro.predicates.discretizer
+import repro.predicates.predicate
+import repro.query.sql
+import repro.table.column
+import repro.table.schema
+import repro.table.table
+
+MODULES = [
+    repro.table.schema,
+    repro.table.column,
+    repro.table.table,
+    repro.predicates.clause,
+    repro.predicates.predicate,
+    repro.predicates.discretizer,
+    repro.query.sql,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

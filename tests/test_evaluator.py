@@ -1,0 +1,80 @@
+"""Unit tests for the factorized ArrayMaskEvaluator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredicateError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.evaluator import ArrayMaskEvaluator
+from repro.predicates.predicate import Predicate
+
+VALUES = {
+    "x": np.asarray([0.0, 1.5, 3.0, 4.5]),
+    "s": np.asarray(["a", "b", "a", "c"], dtype=object),
+}
+
+
+def evaluator() -> ArrayMaskEvaluator:
+    return ArrayMaskEvaluator(VALUES)
+
+
+def test_range_clause():
+    mask = evaluator().clause_mask(RangeClause("x", 1.0, 3.0))
+    assert mask.tolist() == [False, True, True, False]
+
+
+def test_set_clause_single_value():
+    mask = evaluator().clause_mask(SetClause("s", ["a"]))
+    assert mask.tolist() == [True, False, True, False]
+
+
+def test_set_clause_multiple_values():
+    mask = evaluator().clause_mask(SetClause("s", ["a", "c"]))
+    assert mask.tolist() == [True, False, True, True]
+
+
+def test_set_clause_unknown_value():
+    mask = evaluator().clause_mask(SetClause("s", ["zzz"]))
+    assert not mask.any()
+
+
+def test_conjunction():
+    p = Predicate([RangeClause("x", 0.0, 3.0), SetClause("s", ["a"])])
+    assert evaluator().mask(p).tolist() == [True, False, True, False]
+
+
+def test_true_predicate():
+    assert evaluator().mask(Predicate.true()).all()
+
+
+def test_matches_table_independent_path():
+    p = Predicate([RangeClause("x", 1.0, 4.5), SetClause("s", ["b", "c"])])
+    expected = (RangeClause("x", 1.0, 4.5).mask_values(VALUES["x"])
+                & SetClause("s", ["b", "c"]).mask_values(VALUES["s"]))
+    np.testing.assert_array_equal(evaluator().mask(p), expected)
+
+
+def test_unknown_attribute_rejected():
+    with pytest.raises(PredicateError):
+        evaluator().clause_mask(RangeClause("nope", 0, 1))
+
+
+def test_kind_mismatch_rejected():
+    with pytest.raises(PredicateError):
+        evaluator().clause_mask(SetClause("x", [1.0]))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(PredicateError):
+        ArrayMaskEvaluator({"a": np.zeros(2), "b": np.zeros(3)})
+
+
+def test_integer_arrays_are_discrete():
+    ev = ArrayMaskEvaluator({"k": np.asarray([1, 2, 1], dtype=object)})
+    assert ev.clause_mask(SetClause("k", [1])).tolist() == [True, False, True]
+
+
+def test_supports():
+    ev = evaluator()
+    assert ev.supports("x") and ev.supports("s")
+    assert not ev.supports("zz")

@@ -1,0 +1,91 @@
+"""Unit tests for the c-explorer (the paper's Section 7 / 8.3.3 slider)."""
+
+import pytest
+
+from repro.core.explore import CExploration, CExplorer, LadderStep
+from repro.core.scorpion import Scorpion
+from repro.errors import PartitionerError
+
+from tests.conftest import planted_sum_table
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.aggregates import Sum
+    from repro.core.problem import ScorpionQuery
+    from repro.query.groupby import GroupByQuery
+    table, outliers, holdouts = planted_sum_table(n_per_group=150)
+    return ScorpionQuery(table, GroupByQuery("g", Sum(), "value"),
+                         outliers=outliers, holdouts=holdouts,
+                         error_vectors=+1.0, c=0.5)
+
+
+class TestValidation:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(PartitionerError):
+            CExplorer(c_values=())
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(PartitionerError):
+            CExplorer(c_values=(0.5, -0.1))
+
+    def test_sweep_sorted_high_to_low(self):
+        explorer = CExplorer(c_values=(0.1, 0.9, 0.5, 0.9))
+        assert explorer.c_values == (0.9, 0.5, 0.1)
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def exploration(self, problem):
+        return CExplorer(c_values=(1.0, 0.5, 0.2, 0.0)).explore(problem)
+
+    def test_trace_covers_sweep(self, exploration):
+        assert [c for c, _ in exploration.trace] == [1.0, 0.5, 0.2, 0.0]
+
+    def test_ladder_steps_are_contiguous(self, exploration):
+        steps = exploration.steps
+        assert steps
+        for step in steps:
+            assert step.c_lo <= step.c_hi
+        for previous, current in zip(steps, steps[1:]):
+            assert current.c_hi <= previous.c_lo
+
+    def test_adjacent_steps_distinct(self, exploration):
+        predicates = exploration.predicates
+        for a, b in zip(predicates, predicates[1:]):
+            assert a != b
+
+    def test_selectivity_decreases_down_the_ladder(self, exploration, problem):
+        rows = [step.explanation.n_matched for step in exploration.steps]
+        # Lower c (later steps) tolerates larger predicates.
+        assert rows == sorted(rows)
+
+    def test_at_picks_nearest_c(self, exploration):
+        assert exploration.at(0.45).predicate == dict(exploration.trace)[0.5].predicate
+        assert exploration.at(5.0).predicate == dict(exploration.trace)[1.0].predicate
+
+    def test_to_string(self, exploration):
+        rendered = exploration.to_string()
+        assert "c-ladder" in rendered
+        assert str(exploration.steps[0].predicate) in rendered
+
+    def test_at_on_empty_raises(self):
+        with pytest.raises(PartitionerError):
+            CExploration(steps=[], trace=[]).at(0.5)
+
+
+class TestCacheSharing:
+    def test_dt_sweep_shares_cache(self, problem):
+        # Force the DT path so the cache applies.
+        scorpion = Scorpion(algorithm="dt", use_cache=True)
+        CExplorer(scorpion, c_values=(0.5, 0.2, 0.0)).explore(problem)
+        assert scorpion.cache.partition_misses == 1
+        assert scorpion.cache.partition_hits == 2
+
+
+class TestLadderStep:
+    def test_str(self):
+        from repro.predicates.clause import SetClause
+        from repro.predicates.predicate import Predicate
+        step = LadderStep(0.1, 0.5, Predicate([SetClause("s", ["a"])]), None)
+        assert "c ∈ [0.1, 0.5]" in str(step)

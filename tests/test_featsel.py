@@ -1,0 +1,118 @@
+"""Unit tests for filter-based feature selection (paper Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionerError
+from repro.featsel import (
+    attribute_relevance,
+    mutual_information,
+    pearson_correlation,
+    select_attributes,
+)
+from repro.core.problem import ScorpionQuery
+from repro.query.groupby import GroupByQuery
+from repro.aggregates import Avg
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_is_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PartitionerError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_single_point_zero(self):
+        assert pearson_correlation(np.asarray([1.0]), np.asarray([2.0])) == 0.0
+
+
+class TestMutualInformation:
+    def test_informative_labels(self):
+        y = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        labels = ["lo"] * 50 + ["hi"] * 50
+        assert mutual_information(labels, y) > 0.9
+
+    def test_uninformative_labels(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(0, 1, 400)
+        labels = rng.choice(["a", "b"], 400).tolist()
+        assert mutual_information(labels, y) < 0.1
+
+    def test_constant_values_zero(self):
+        assert mutual_information(["a", "b"], np.ones(2)) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PartitionerError):
+            mutual_information(["a"], np.ones(2))
+
+
+def relevance_problem(seed=0):
+    """Influence driven by x and by the sensor id; noise dims irrelevant."""
+    rng = np.random.default_rng(seed)
+    n_groups, per_group = 4, 250
+    n = n_groups * per_group
+    groups = np.repeat([f"g{i}" for i in range(n_groups)], per_group)
+    x = rng.uniform(0, 100, n)
+    noise = rng.uniform(0, 100, n)
+    sensor = rng.choice(["s1", "s2", "s3"], n)
+    value = rng.normal(10, 1, n)
+    hot = np.isin(groups, ["g0", "g1"]) & (x > 60) & (sensor == "s2")
+    value[hot] += 50
+    table = Table.from_columns(
+        Schema([ColumnSpec("g", ColumnKind.DISCRETE),
+                ColumnSpec("x", ColumnKind.CONTINUOUS),
+                ColumnSpec("noise", ColumnKind.CONTINUOUS),
+                ColumnSpec("sensor", ColumnKind.DISCRETE),
+                ColumnSpec("v", ColumnKind.CONTINUOUS)]),
+        {"g": groups, "x": x, "noise": noise, "sensor": sensor, "v": value})
+    return ScorpionQuery(table, GroupByQuery("g", Avg(), "v"),
+                         outliers=["g0", "g1"], holdouts=["g2", "g3"])
+
+
+class TestAttributeRelevance:
+    def test_signal_beats_noise(self):
+        relevance = attribute_relevance(relevance_problem())
+        assert relevance["x"] > relevance["noise"]
+        assert relevance["sensor"] > 0.01
+
+    def test_all_attributes_scored(self):
+        relevance = attribute_relevance(relevance_problem())
+        assert set(relevance) == {"x", "noise", "sensor"}
+
+    def test_scores_bounded(self):
+        relevance = attribute_relevance(relevance_problem())
+        assert all(0.0 <= score <= 1.0 + 1e-9 for score in relevance.values())
+
+
+class TestSelectAttributes:
+    def test_drops_noise(self):
+        selected = select_attributes(relevance_problem(), threshold=0.05)
+        assert "noise" not in selected or len(selected) == 3
+
+    def test_min_keep(self):
+        selected = select_attributes(relevance_problem(), threshold=10.0,
+                                     min_keep=2)
+        assert len(selected) == 2
+
+    def test_bad_min_keep_rejected(self):
+        with pytest.raises(PartitionerError):
+            select_attributes(relevance_problem(), min_keep=0)
+
+    def test_selected_usable_as_problem_attributes(self):
+        problem = relevance_problem()
+        selected = select_attributes(problem, threshold=0.05)
+        narrowed = ScorpionQuery(problem.raw_table, problem.query,
+                                 outliers=problem.outlier_keys,
+                                 holdouts=problem.holdout_keys,
+                                 attributes=selected)
+        assert set(narrowed.attributes) == set(selected)

@@ -1,0 +1,100 @@
+"""Property-based fuzzing of the mini SQL parser.
+
+Generates structurally valid queries from random identifiers/literals
+and checks the parser recovers every component exactly; also checks that
+random junk never crashes with anything but QueryError.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.sql import parse_query
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,10}", fullmatch=True).filter(
+    # Keywords would terminate clauses early; real schemas avoid them too.
+    lambda s: s.upper() not in {"SELECT", "FROM", "WHERE", "GROUP", "BY", "AND"}
+)
+numbers = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+              allow_infinity=False).map(lambda f: round(f, 3)),
+)
+string_literals = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                           whitelist_characters=" .-_"),
+    max_size=12,
+)
+operators = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def conditions(draw):
+    column = draw(identifiers)
+    op = draw(operators)
+    if draw(st.booleans()):
+        literal = draw(numbers)
+        rendered = f"{column} {op} {literal}"
+        value = float(literal)
+    else:
+        text = draw(string_literals)
+        rendered = f"{column} {op} '{text.replace(chr(39), chr(39) * 2)}'"
+        value = text
+    return rendered, (column, op, value)
+
+
+@st.composite
+def queries(draw):
+    agg = draw(st.sampled_from(["sum", "avg", "count", "stddev", "min"]))
+    agg_column = draw(identifiers)
+    table = draw(identifiers)
+    group_columns = draw(st.lists(identifiers, min_size=1, max_size=3,
+                                  unique=True))
+    condition_list = draw(st.lists(conditions(), max_size=3))
+    sql = f"SELECT {agg}({agg_column}) FROM {table}"
+    if condition_list:
+        sql += " WHERE " + " AND ".join(c[0] for c in condition_list)
+    sql += " GROUP BY " + ", ".join(group_columns)
+    return sql, agg, agg_column, table, tuple(group_columns), condition_list
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(query=queries())
+    def test_components_recovered(self, query):
+        sql, agg, agg_column, table, group_columns, condition_list = query
+        parsed = parse_query(sql)
+        assert parsed.aggregate_name == agg
+        assert parsed.agg_column == agg_column
+        assert parsed.table_name == table
+        assert parsed.group_by == group_columns
+        assert len(parsed.conditions) == len(condition_list)
+        for got, (_, (column, op, value)) in zip(parsed.conditions,
+                                                 condition_list):
+            assert got.column == column
+            assert got.op == op
+            if isinstance(value, float):
+                assert got.literal == pytest.approx(value)
+            else:
+                assert got.literal == value
+
+
+class TestJunkNeverCrashes:
+    @settings(max_examples=200, deadline=None)
+    @given(junk=st.text(max_size=60))
+    def test_arbitrary_text(self, junk):
+        try:
+            parse_query(junk)
+        except QueryError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=queries(), cut=st.integers(min_value=0, max_value=100))
+    def test_truncated_valid_queries(self, query, cut):
+        sql = query[0]
+        prefix = sql[: min(cut, len(sql))]
+        try:
+            parse_query(prefix)
+        except QueryError:
+            pass

@@ -1,0 +1,183 @@
+"""Integration tests: the full pipeline on each workload family, plus
+cross-algorithm consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro import Scorpion, ScorpionQuery
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.datasets import (
+    ExpensesConfig,
+    IntelConfig,
+    generate_expenses,
+    generate_intel,
+    make_synth,
+)
+from repro.eval import score_predicate
+from repro.featsel import select_attributes
+
+
+class TestSynthPipeline:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synth(2, "easy", tuples_per_group=400, seed=2)
+
+    def test_dt_finds_cube(self, dataset):
+        problem = dataset.scorpion_query(c=0.1)
+        result = Scorpion(algorithm="dt").explain(problem)
+        stats = score_predicate(result.best.predicate, dataset.table,
+                                dataset.truth_outer(),
+                                dataset.outlier_row_indices())
+        assert stats.f_score > 0.7
+
+    def test_mc_finds_cube(self, dataset):
+        problem = dataset.scorpion_query(c=0.1)
+        result = Scorpion(algorithm="mc").explain(problem)
+        stats = score_predicate(result.best.predicate, dataset.table,
+                                dataset.truth_outer(),
+                                dataset.outlier_row_indices())
+        assert stats.f_score > 0.6
+
+    def test_holdouts_perturbed_less_than_outliers(self, dataset):
+        # λ = 0.5 only *caps* hold-out perturbation (Section 3.2): the
+        # chosen predicate may remove hold-out rows, but its relative
+        # effect on every hold-out must stay below its relative effect
+        # on the outliers it is meant to fix.
+        problem = dataset.scorpion_query(c=0.1)
+        result = Scorpion(algorithm="dt").explain(problem)
+        best = result.best
+
+        def relative_change(updated_by_key):
+            changes = []
+            for key, updated in updated_by_key.items():
+                original = problem.results.by_key(key).value
+                changes.append(abs(updated - original) / abs(original))
+            return changes
+
+        outlier_changes = relative_change(best.updated_outliers)
+        holdout_changes = relative_change(best.updated_holdouts)
+        assert max(holdout_changes) < min(outlier_changes)
+
+    def test_higher_c_more_selective(self, dataset):
+        scorpion = Scorpion(algorithm="dt", use_cache=True)
+        coarse = scorpion.explain(dataset.scorpion_query(c=0.0))
+        fine = scorpion.explain(dataset.scorpion_query(c=1.0))
+        coarse_rows = coarse.best.predicate.mask(dataset.table).sum()
+        fine_rows = fine.best.predicate.mask(dataset.table).sum()
+        assert fine_rows <= coarse_rows
+
+
+class TestIntelPipeline:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_intel(IntelConfig(
+            workload=1, n_sensors=30, n_hours=20, readings_per_sensor_hour=5,
+            failure_start=8, failure_hours=8))
+
+    def test_identifies_failing_sensor(self, dataset):
+        problem = dataset.scorpion_query(c=0.5)
+        result = Scorpion(algorithm="dt").explain(problem)
+        clause = result.best.predicate.clause_for("sensorid")
+        assert clause is not None and 15 in clause.values
+
+    def test_f_score_against_failure_rows(self, dataset):
+        problem = dataset.scorpion_query(c=0.5)
+        result = Scorpion(algorithm="dt").explain(problem)
+        stats = score_predicate(result.best.predicate, dataset.table,
+                                dataset.failure_mask,
+                                dataset.outlier_row_indices())
+        assert stats.f_score > 0.9
+
+    def test_feature_selection_keeps_sensorid(self, dataset):
+        problem = dataset.scorpion_query(c=0.5)
+        selected = select_attributes(problem, threshold=0.02)
+        assert "sensorid" in selected
+
+    def test_narrowed_problem_still_solves(self, dataset):
+        problem = dataset.scorpion_query(c=0.5)
+        selected = select_attributes(problem, threshold=0.02)
+        narrowed = ScorpionQuery(
+            dataset.table, problem.query,
+            outliers=dataset.outlier_keys, holdouts=dataset.holdout_keys,
+            error_vectors=+1.0, c=0.5, attributes=selected)
+        result = Scorpion(algorithm="dt").explain(narrowed)
+        clause = result.best.predicate.clause_for("sensorid")
+        assert clause is not None and 15 in clause.values
+
+
+class TestExpensesPipeline:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_expenses(ExpensesConfig(
+            n_days=60, rows_per_day=40, n_recipients=200, n_cities=20,
+            n_zips=20, n_outlier_days=4, seed=3))
+
+    def test_auto_selects_mc(self, dataset):
+        result = Scorpion().explain(dataset.scorpion_query(c=0.5))
+        assert result.algorithm == "mc"
+
+    def test_high_c_finds_media_buys(self, dataset):
+        result = Scorpion().explain(dataset.scorpion_query(c=0.8))
+        stats = score_predicate(result.best.predicate,
+                                dataset.effective_table(),
+                                dataset.effective_truth_mask(),
+                                dataset.outlier_row_indices())
+        assert stats.f_score > 0.8
+
+    def test_predicate_names_the_filing_or_vendor(self, dataset):
+        result = Scorpion().explain(dataset.scorpion_query(c=0.8))
+        text = str(result.best.predicate)
+        assert "800316" in text or "GMMB" in text
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_algorithms_remove_planted_rows(self):
+        dataset = make_synth(2, "easy", tuples_per_group=300, seed=4)
+        problem = dataset.scorpion_query(c=0.1)
+        planted = dataset.label_outer()
+        for algorithm, kwargs in (("dt", {}), ("mc", {})):
+            scorpion = Scorpion(algorithm=algorithm)
+            result = scorpion.explain(problem)
+            mask = result.best.predicate.mask(dataset.table)
+            outlier_rows = dataset.outlier_row_indices()
+            recall = (mask & planted)[outlier_rows].sum() / planted[outlier_rows].sum()
+            assert recall > 0.5, algorithm
+
+    def test_scorer_agreement_between_algorithms(self):
+        dataset = make_synth(2, "easy", tuples_per_group=300, seed=4)
+        problem = dataset.scorpion_query(c=0.1)
+        scorer = InfluenceScorer(problem)
+        dt = Scorpion(algorithm="dt").explain(problem)
+        mc = Scorpion(algorithm="mc").explain(problem)
+        # Reported influences are reproducible through a fresh scorer.
+        assert scorer.score(dt.best.predicate) == pytest.approx(
+            dt.best.influence, rel=1e-9)
+        assert scorer.score(mc.best.predicate) == pytest.approx(
+            mc.best.influence, rel=1e-9)
+
+
+class TestBlackBoxEndToEnd:
+    def test_naive_on_median_aggregate(self):
+        rng = np.random.default_rng(7)
+        from repro.aggregates import Median
+        from repro.query.groupby import GroupByQuery
+        from repro.table import ColumnKind, ColumnSpec, Schema, Table
+        n_groups, per_group = 4, 80
+        groups = np.repeat([f"g{i}" for i in range(n_groups)], per_group)
+        x = rng.uniform(0, 100, n_groups * per_group)
+        v = rng.normal(10, 0.5, n_groups * per_group)
+        hot = np.isin(groups, ["g0", "g1"]) & (x > 50)
+        v[hot] = 40.0  # shifts the median of g0/g1
+        table = Table.from_columns(
+            Schema([ColumnSpec("g", ColumnKind.DISCRETE),
+                    ColumnSpec("x", ColumnKind.CONTINUOUS),
+                    ColumnSpec("v", ColumnKind.CONTINUOUS)]),
+            {"g": groups, "x": x, "v": v})
+        problem = ScorpionQuery(table, GroupByQuery("g", Median(), "v"),
+                                outliers=["g0", "g1"], holdouts=["g2", "g3"],
+                                error_vectors=+1.0, c=0.2)
+        result = Scorpion().explain(problem)
+        assert result.algorithm == "naive"
+        clause = result.best.predicate.clause_for("x")
+        assert clause is not None and clause.lo >= 40

@@ -1,0 +1,175 @@
+"""Unit tests for the Merger (paper Sections 4.3 and 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dt import DTPartitioner
+from repro.core.influence import InfluenceScorer
+from repro.core.merger import Merger, MergerParams, _ApproxIndex
+from repro.core.partition import CandidatePredicate, GroupRemovalStats
+from repro.errors import PartitionerError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+
+from tests.test_dt import avg_problem
+
+
+def dt_candidates(problem, scorer):
+    return DTPartitioner(seed=1).run(problem, scorer).candidates
+
+
+class TestBasicMerging:
+    def test_merges_fragments_into_planted_region(self):
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        merger = Merger(scorer, problem.domain,
+                        params=MergerParams(expand_fraction=1.0,
+                                            use_approximation=False))
+        merged = merger.run(candidates)
+        assert merged
+        best = merged[0]
+        clause = best.predicate.clause_for("x")
+        assert clause is not None and clause.lo <= 45 and clause.hi >= 55
+
+    def test_merged_influence_at_least_best_candidate(self):
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        merger = Merger(scorer, problem.domain,
+                        params=MergerParams(expand_fraction=1.0))
+        merged = merger.run(candidates)
+        best_candidate_influence = max(
+            scorer.score(c.predicate) for c in candidates)
+        assert merged[0].influence >= best_candidate_influence - 1e-9
+
+    def test_results_sorted_and_deduped(self):
+        problem = avg_problem(n_per_group=200)
+        scorer = InfluenceScorer(problem)
+        merged = Merger(scorer, problem.domain).run(dt_candidates(problem, scorer))
+        influences = [sp.influence for sp in merged]
+        assert influences == sorted(influences, reverse=True)
+        predicates = [sp.predicate for sp in merged]
+        assert len(predicates) == len(set(predicates))
+
+    def test_empty_input(self):
+        problem = avg_problem(n_per_group=100)
+        scorer = InfluenceScorer(problem)
+        assert Merger(scorer, problem.domain).run([]) == []
+
+    def test_unknown_param_rejected(self):
+        problem = avg_problem(n_per_group=100)
+        scorer = InfluenceScorer(problem)
+        with pytest.raises(PartitionerError):
+            Merger(scorer, problem.domain, nope=3)
+
+    def test_bad_expand_fraction_rejected(self):
+        problem = avg_problem(n_per_group=100)
+        scorer = InfluenceScorer(problem)
+        with pytest.raises(PartitionerError):
+            Merger(scorer, problem.domain, expand_fraction=0.0)
+
+
+class TestQuartileOptimization:
+    def test_expands_fewer_candidates(self):
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        full = Merger(scorer, problem.domain,
+                      params=MergerParams(expand_fraction=1.0))
+        quart = Merger(scorer, problem.domain,
+                       params=MergerParams(expand_fraction=0.25))
+        full.run(candidates)
+        quart.run(candidates)
+        assert quart.report.n_expanded < full.report.n_expanded
+        assert quart.report.n_expanded >= int(np.ceil(len(candidates) * 0.25))
+
+
+class TestApproximation:
+    def test_saves_scorer_calls(self):
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        approx = Merger(scorer, problem.domain,
+                        params=MergerParams(use_approximation=True))
+        approx.run(candidates)
+        assert approx.report.n_scorer_calls_saved > 0
+
+    def test_estimate_close_to_exact_on_whole_partitions(self):
+        problem = avg_problem(n_per_group=400, with_holdouts=False)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        index = _ApproxIndex(candidates, problem.domain, scorer)
+        merger = Merger(scorer, problem.domain)
+        merger._index = index
+        for candidate in candidates[:10]:
+            exact = scorer.score(candidate.predicate, ignore_holdouts=True)
+            estimate = merger._approximate(candidate.predicate)
+            # A candidate's own stats are exact: estimate == exact score.
+            assert estimate == pytest.approx(exact, rel=1e-6, abs=1e-9)
+
+    def test_overlap_shares_geometry(self):
+        problem = avg_problem(n_per_group=100, with_holdouts=False)
+        scorer = InfluenceScorer(problem)
+        stats = {scorer.outlier_contexts[0].key: GroupRemovalStats(10.0)}
+        candidates = [
+            CandidatePredicate(
+                Predicate([RangeClause("x", 0, 10), RangeClause("y", 0, 10)]),
+                score=1.0, group_stats=stats, volume=0.01),
+        ]
+        index = _ApproxIndex(candidates, problem.domain, scorer)
+        contained = Predicate([RangeClause("x", 0, 20), RangeClause("y", 0, 20)])
+        assert index.overlap_shares(contained)[0] == pytest.approx(1.0)
+        half = Predicate([RangeClause("x", 0, 5), RangeClause("y", 0, 10)])
+        assert index.overlap_shares(half)[0] == pytest.approx(0.5)
+        disjoint = Predicate([RangeClause("x", 50, 60), RangeClause("y", 0, 10)])
+        assert index.overlap_shares(disjoint)[0] == 0.0
+
+    def test_overlap_shares_discrete(self, sum_problem):
+        # sum_problem's domain has the discrete rest attribute "state".
+        from repro.core.influence import InfluenceScorer as Scorer
+        scorer = Scorer(sum_problem)
+        stats = {scorer.outlier_contexts[0].key: GroupRemovalStats(10.0)}
+        candidates = [
+            CandidatePredicate(
+                Predicate([SetClause("state", ["TX", "CA"])]),
+                score=1.0, group_stats=stats, volume=0.5),
+        ]
+        index = _ApproxIndex(candidates, sum_problem.domain, scorer)
+        one = Predicate([SetClause("state", ["TX"])])
+        assert index.overlap_shares(one)[0] == pytest.approx(0.5)
+        both = Predicate([SetClause("state", ["TX", "CA", "NY"])])
+        assert index.overlap_shares(both)[0] == pytest.approx(1.0)
+        none = Predicate([SetClause("state", ["WA"])])
+        assert index.overlap_shares(none)[0] == 0.0
+
+    def test_disabled_for_black_box_inputs(self):
+        problem = avg_problem(n_per_group=100)
+        scorer = InfluenceScorer(problem, use_incremental=False)
+        merger = Merger(scorer, problem.domain,
+                        params=MergerParams(use_approximation=True))
+        assert not merger._approx_ready
+
+
+class TestAdoptionVerification:
+    def test_expansion_never_ends_below_start(self):
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        merger = Merger(scorer, problem.domain)
+        merged = merger.run(candidates)
+        for start in candidates[:5]:
+            start_influence = scorer.score(start.predicate)
+            assert merged[0].influence >= start_influence - 1e-9
+
+
+class TestSeeds:
+    def test_seeded_run_expands_seeds(self):
+        problem = avg_problem(n_per_group=200)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        seed = [candidates[0].predicate]
+        merger = Merger(scorer, problem.domain)
+        merged = merger.run(candidates, seeds=seed)
+        assert merger.report.n_expanded == 1
+        assert merged

@@ -1,0 +1,84 @@
+"""Unit tests for precision/recall/F-score evaluation (Section 8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.eval.metrics import AccuracyStats, confusion_counts, score_predicate
+from repro.predicates.clause import RangeClause
+from repro.predicates.predicate import Predicate
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+TABLE = Table.from_columns(
+    Schema([ColumnSpec("x", ColumnKind.CONTINUOUS)]),
+    {"x": [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]},
+)
+
+
+class TestAccuracyStats:
+    def test_perfect(self):
+        stats = AccuracyStats(10, 0, 0)
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        assert stats.f_score == 1.0
+
+    def test_fscore_harmonic_mean(self):
+        stats = AccuracyStats(true_positives=1, false_positives=1,
+                              false_negatives=3)
+        assert stats.precision == 0.5
+        assert stats.recall == 0.25
+        assert stats.f_score == pytest.approx(2 * 0.5 * 0.25 / 0.75)
+
+    def test_empty_selection(self):
+        stats = AccuracyStats(0, 0, 5)
+        assert stats.precision == 0.0
+        assert stats.recall == 0.0
+        assert stats.f_score == 0.0
+
+    def test_empty_truth(self):
+        stats = AccuracyStats(0, 5, 0)
+        assert stats.recall == 0.0
+        assert stats.f_score == 0.0
+
+
+class TestConfusionCounts:
+    def test_counts(self):
+        selected = np.asarray([True, True, False, False])
+        truth = np.asarray([True, False, True, False])
+        stats = confusion_counts(selected, truth)
+        assert (stats.true_positives, stats.false_positives,
+                stats.false_negatives) == (1, 1, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            confusion_counts(np.asarray([True]), np.asarray([True, False]))
+
+
+class TestScorePredicate:
+    def test_against_whole_table(self):
+        p = Predicate([RangeClause("x", 0.0, 2.0)])
+        truth = np.asarray([True, True, True, False, False, False])
+        stats = score_predicate(p, TABLE, truth)
+        assert stats.f_score == 1.0
+
+    def test_restricted_to_outlier_rows(self):
+        p = Predicate([RangeClause("x", 0.0, 5.0)])  # matches everything
+        truth = np.asarray([True, False, False, False, False, False])
+        # Restricted to rows {0, 1}: selected = both, truth = row 0 only.
+        stats = score_predicate(p, TABLE, truth, outlier_rows=np.asarray([0, 1]))
+        assert stats.true_positives == 1
+        assert stats.false_positives == 1
+        assert stats.false_negatives == 0
+
+    def test_restriction_changes_score(self):
+        p = Predicate([RangeClause("x", 0.0, 1.0)])
+        truth = np.asarray([True, True, False, False, True, True])
+        unrestricted = score_predicate(p, TABLE, truth)
+        restricted = score_predicate(p, TABLE, truth,
+                                     outlier_rows=np.asarray([0, 1, 2]))
+        assert restricted.recall > unrestricted.recall
+
+    def test_wrong_truth_shape_rejected(self):
+        p = Predicate([RangeClause("x", 0.0, 1.0)])
+        with pytest.raises(DatasetError):
+            score_predicate(p, TABLE, np.asarray([True]))

@@ -1,0 +1,87 @@
+"""Unit tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.eval.plot import ascii_scatter, overlay_box
+from repro.predicates.clause import RangeClause
+from repro.predicates.predicate import Predicate
+
+
+class TestScatter:
+    def test_density_mode_shape(self):
+        rng = np.random.default_rng(0)
+        plot = ascii_scatter(rng.uniform(0, 1, 200), rng.uniform(0, 1, 200),
+                             width=30, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # borders + 10 rows
+        assert all(line.startswith(("|", "+")) for line in lines)
+
+    def test_dense_region_darker(self):
+        x = np.concatenate([np.full(500, 0.25), np.asarray([0.9])])
+        y = np.concatenate([np.full(500, 0.25), np.asarray([0.9])])
+        plot = ascii_scatter(x, y, width=20, height=10,
+                             x_range=(0, 1), y_range=(0, 1))
+        assert "@" in plot  # the packed cell reaches the ramp's top
+
+    def test_label_mode_highest_label_wins(self):
+        x = np.asarray([0.5, 0.5])
+        y = np.asarray([0.5, 0.5])
+        plot = ascii_scatter(x, y, labels=np.asarray([0, 2]),
+                             width=10, height=6,
+                             x_range=(0, 1), y_range=(0, 1),
+                             label_chars=".o#")
+        assert "#" in plot
+        assert "o" not in plot
+
+    def test_ranges_clamp_outside_points(self):
+        plot = ascii_scatter(np.asarray([-5.0, 50.0]), np.asarray([200.0, 1.0]),
+                             width=10, height=5, x_range=(0, 10), y_range=(0, 10))
+        assert plot.count("|") >= 10  # rendered without error
+
+    def test_axis_annotations(self):
+        plot = ascii_scatter(np.asarray([0.0, 1.0]), np.asarray([2.0, 3.0]),
+                             width=8, height=4)
+        assert "x in [0, 1]" in plot
+        assert "y in [2, 3]" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.asarray([]), np.asarray([]))
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros(3), np.zeros(4))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros(1), np.zeros(1), width=1, height=1)
+
+    def test_label_out_of_chars_rejected(self):
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros(1), np.zeros(1),
+                          labels=np.asarray([7]), label_chars=".o")
+
+
+class TestOverlay:
+    def test_box_edges_drawn(self):
+        rng = np.random.default_rng(1)
+        plot = ascii_scatter(rng.uniform(0, 100, 50), rng.uniform(0, 100, 50),
+                             width=40, height=16, x_range=(0, 100),
+                             y_range=(0, 100))
+        box = Predicate([RangeClause("x", 20, 60), RangeClause("y", 30, 70)])
+        overlaid = overlay_box(plot, box, "x", "y", (0, 100), (0, 100))
+        assert "=" in overlaid or "I" in overlaid
+        # Same geometry: line count and widths unchanged.
+        assert len(overlaid.splitlines()) == len(plot.splitlines())
+        for old, new in zip(plot.splitlines(), overlaid.splitlines()):
+            assert len(old) == len(new)
+
+    def test_missing_clause_spans_axis(self):
+        plot = ascii_scatter(np.asarray([50.0]), np.asarray([50.0]),
+                             width=20, height=8, x_range=(0, 100),
+                             y_range=(0, 100))
+        box = Predicate([RangeClause("x", 40, 60)])  # y unconstrained
+        overlaid = overlay_box(plot, box, "x", "y", (0, 100), (0, 100))
+        assert "I" in overlaid

@@ -1,0 +1,263 @@
+"""Unit + property tests for conjunctive predicates and box algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredicateError
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+TABLE = Table.from_columns(
+    Schema([ColumnSpec("x", ColumnKind.CONTINUOUS),
+            ColumnSpec("y", ColumnKind.CONTINUOUS),
+            ColumnSpec("s", ColumnKind.DISCRETE)]),
+    {
+        "x": [0.0, 1.0, 2.0, 3.0, 4.0],
+        "y": [0.0, 10.0, 20.0, 30.0, 40.0],
+        "s": ["a", "b", "a", "b", "c"],
+    },
+)
+
+
+def box(x_lo, x_hi, y_lo, y_hi, include_hi=False) -> Predicate:
+    return Predicate([
+        RangeClause("x", x_lo, x_hi, include_hi=include_hi),
+        RangeClause("y", y_lo, y_hi, include_hi=include_hi),
+    ])
+
+
+class TestConstruction:
+    def test_true_predicate_matches_everything(self):
+        assert Predicate.true().mask(TABLE).all()
+        assert Predicate.true().is_true()
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(PredicateError):
+            Predicate([RangeClause("x", 0, 1), RangeClause("x", 2, 3)])
+
+    def test_clauses_sorted_by_attribute(self):
+        p = Predicate([RangeClause("y", 0, 1), RangeClause("x", 0, 1)])
+        assert p.attributes == ("x", "y")
+
+    def test_equality_independent_of_order(self):
+        a = Predicate([RangeClause("y", 0, 1), RangeClause("x", 0, 1)])
+        b = Predicate([RangeClause("x", 0, 1), RangeClause("y", 0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_str(self):
+        p = Predicate([SetClause("s", ["a"]), RangeClause("x", 0, 1)])
+        assert str(p) == "s = a & x in [0, 1]"
+
+
+class TestEvaluation:
+    def test_mask_is_conjunction(self):
+        p = Predicate([RangeClause("x", 1.0, 3.0), SetClause("s", ["b"])])
+        assert p.mask(TABLE).tolist() == [False, True, False, True, False]
+
+    def test_filter(self):
+        p = Predicate([SetClause("s", ["c"])])
+        assert len(p.filter(TABLE)) == 1
+
+    def test_selectivity(self):
+        p = Predicate([SetClause("s", ["a"])])
+        assert p.selectivity(TABLE) == pytest.approx(0.4)
+
+    def test_selectivity_empty_table(self):
+        empty = TABLE.filter(np.zeros(len(TABLE), dtype=bool))
+        assert Predicate.true().selectivity(empty) == 0.0
+
+    def test_mask_arrays_matches_mask(self):
+        p = Predicate([RangeClause("x", 1.0, 3.0), SetClause("s", ["a", "b"])])
+        values = {"x": TABLE.values("x"), "s": TABLE.values("s")}
+        np.testing.assert_array_equal(
+            p.mask_arrays(values, len(TABLE)), p.mask(TABLE))
+
+
+class TestContainment:
+    def test_syntactic_containment(self):
+        outer = Predicate([RangeClause("x", 0, 10)])
+        inner = Predicate([RangeClause("x", 2, 3), SetClause("s", ["a"])])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_true_contains_all(self):
+        assert Predicate.true().contains(box(0, 1, 0, 1))
+
+    def test_containment_requires_all_clauses(self):
+        p1 = Predicate([RangeClause("x", 0, 10), RangeClause("y", 0, 10)])
+        p2 = Predicate([RangeClause("x", 2, 3)])  # unconstrained y
+        assert not p1.contains(p2)
+
+    def test_data_dependent_containment(self):
+        smaller = Predicate([RangeClause("x", 0.0, 1.0)])
+        bigger = Predicate([RangeClause("x", 0.0, 3.0)])
+        assert smaller.contained_in_wrt(bigger, TABLE)
+        assert not bigger.contained_in_wrt(smaller, TABLE)
+
+    def test_data_dependent_containment_is_strict(self):
+        a = Predicate([RangeClause("x", 0.0, 1.0)])
+        same_rows = Predicate([RangeClause("x", 0.0, 1.5)])  # same 2 rows
+        assert not a.contained_in_wrt(same_rows, TABLE)
+
+
+class TestIntersect:
+    def test_intersect_overlapping_boxes(self):
+        got = box(0, 10, 0, 25).intersect(box(5, 20, 10, 50))
+        assert got == box(5, 10, 10, 25)
+
+    def test_intersect_disjoint_is_none(self):
+        assert box(0, 1, 0, 1).intersect(box(5, 6, 5, 6)) is None
+
+    def test_intersect_adds_new_attributes(self):
+        p = Predicate([RangeClause("x", 0, 1)])
+        q = Predicate([SetClause("s", ["a"])])
+        got = p.intersect(q)
+        assert set(got.attributes) == {"x", "s"}
+
+
+class TestMergeAndAdjacency:
+    def test_merge_bounding_box(self):
+        got = box(0, 1, 0, 10).merge(box(2, 3, 5, 20))
+        assert got == Predicate([RangeClause("x", 0, 3, include_hi=False),
+                                 RangeClause("y", 0, 20, include_hi=False)])
+
+    def test_merge_drops_one_sided_attributes(self):
+        p = Predicate([RangeClause("x", 0, 1), SetClause("s", ["a"])])
+        q = Predicate([RangeClause("x", 2, 3)])
+        assert q.merge(p).attributes == ("x",)
+
+    def test_adjacent_touching_boxes(self):
+        assert box(0, 1, 0, 10).is_adjacent_to(box(1, 2, 0, 10))
+
+    def test_adjacent_requires_same_attributes(self):
+        p = Predicate([RangeClause("x", 0, 1)])
+        assert not p.is_adjacent_to(box(0, 1, 0, 1))
+
+    def test_gap_not_adjacent(self):
+        assert not box(0, 1, 0, 10).is_adjacent_to(box(1.5, 2, 0, 10))
+
+    def test_continuous_differences_allowed(self):
+        # Both ranges differ but touch: still adjacent (hierarchical
+        # partitions rarely share exact faces).
+        assert box(0, 2, 0, 10).is_adjacent_to(box(1, 3, 5, 20))
+
+    def test_discrete_union_needs_matching_rest(self):
+        p1 = Predicate([RangeClause("x", 0, 1), SetClause("s", ["a"])])
+        p2_same = Predicate([RangeClause("x", 0, 1), SetClause("s", ["b"])])
+        p2_diff = Predicate([RangeClause("x", 1, 2), SetClause("s", ["b"])])
+        assert p1.is_adjacent_to(p2_same)
+        assert not p1.is_adjacent_to(p2_diff)  # diagonal discrete merge
+
+    def test_two_discrete_differences_not_adjacent(self):
+        p1 = Predicate([SetClause("s", ["a"]), SetClause("t", ["x"])])
+        p2 = Predicate([SetClause("s", ["b"]), SetClause("t", ["y"])])
+        assert not p1.is_adjacent_to(p2)
+
+
+class TestSubtract:
+    def test_subtract_disjoint_returns_self(self):
+        p = box(0, 1, 0, 1)
+        assert p.subtract(box(5, 6, 5, 6)) == [p]
+
+    def test_subtract_covering_returns_empty(self):
+        assert box(2, 3, 2, 3).subtract(box(0, 10, 0, 10)) == []
+
+    def test_subtract_middle_splits_range(self):
+        p = Predicate([RangeClause("x", 0, 10)])
+        cutter = Predicate([RangeClause("x", 4, 6, include_hi=False)])
+        pieces = p.subtract(cutter)
+        assert len(pieces) == 2
+        piece_strs = sorted(str(piece) for piece in pieces)
+        assert piece_strs == ["x in [0, 4)", "x in [6, 10]"]
+
+    def test_subtract_corner_produces_l_shape(self):
+        p = box(0, 10, 0, 10)
+        cutter = box(5, 10, 5, 10)
+        pieces = p.subtract(cutter)
+        # Two pieces: x ∈ [0,5) strip, plus x ∈ [5,10) with y ∈ [0,5).
+        assert len(pieces) == 2
+
+    def test_subtract_discrete(self):
+        p = Predicate([SetClause("s", ["a", "b", "c"])])
+        cutter = Predicate([SetClause("s", ["b"])])
+        pieces = p.subtract(cutter)
+        assert len(pieces) == 1
+        assert pieces[0].clause_for("s").values == frozenset(["a", "c"])
+
+    def test_subtract_pieces_disjoint_and_cover(self):
+        p = box(0, 10, 0, 10)
+        cutter = box(2, 5, 3, 8)
+        pieces = p.subtract(cutter)
+        full = p.mask(TABLE)
+        cut = cutter.mask(TABLE)
+        union = np.zeros(len(TABLE), dtype=bool)
+        for piece in pieces:
+            piece_mask = piece.mask(TABLE)
+            assert not (piece_mask & union).any(), "pieces overlap"
+            union |= piece_mask
+        np.testing.assert_array_equal(union, full & ~cut)
+
+
+boxes = st.builds(
+    lambda x1, x2, y1, y2: box(min(x1, x2), max(x1, x2) + 0.5,
+                               min(y1, y2), max(y1, y2) + 0.5),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+)
+points = st.lists(
+    st.tuples(st.floats(min_value=-10, max_value=60, allow_nan=False),
+              st.floats(min_value=-10, max_value=60, allow_nan=False)),
+    min_size=1, max_size=40,
+)
+
+
+def table_of(point_list) -> Table:
+    return Table.from_columns(
+        Schema([ColumnSpec("x", ColumnKind.CONTINUOUS),
+                ColumnSpec("y", ColumnKind.CONTINUOUS),
+                ColumnSpec("s", ColumnKind.DISCRETE)]),
+        {
+            "x": [p[0] for p in point_list],
+            "y": [p[1] for p in point_list],
+            "s": ["k"] * len(point_list),
+        },
+    )
+
+
+class TestBoxAlgebraProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(a=boxes, b=boxes, pts=points)
+    def test_intersection_semantics(self, a, b, pts):
+        table = table_of(pts)
+        inter = a.intersect(b)
+        expected = a.mask(table) & b.mask(table)
+        if inter is None:
+            assert not expected.any()
+        else:
+            np.testing.assert_array_equal(inter.mask(table), expected)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=boxes, b=boxes, pts=points)
+    def test_merge_covers_union(self, a, b, pts):
+        table = table_of(pts)
+        merged = a.merge(b)
+        union = a.mask(table) | b.mask(table)
+        assert (merged.mask(table) | ~union).all()
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=boxes, b=boxes, pts=points)
+    def test_subtract_partitions_difference(self, a, b, pts):
+        table = table_of(pts)
+        pieces = a.subtract(b)
+        expected = a.mask(table) & ~b.mask(table)
+        union = np.zeros(len(table), dtype=bool)
+        for piece in pieces:
+            mask = piece.mask(table)
+            assert not (mask & union).any()
+            union |= mask
+        np.testing.assert_array_equal(union, expected)

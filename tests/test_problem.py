@@ -1,0 +1,112 @@
+"""Unit tests for ScorpionQuery validation and derivation."""
+
+import pytest
+
+from repro.core.problem import ScorpionQuery
+from repro.errors import PartitionerError, QueryError
+
+
+class TestValidation:
+    def test_basic_construction(self, paper_problem):
+        assert paper_problem.outlier_keys == [("12PM",), ("1PM",)]
+        assert paper_problem.holdout_keys == [("11AM",)]
+
+    def test_no_outliers_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError):
+            ScorpionQuery(sensors_table, q1, outliers=[])
+
+    def test_overlap_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError, match="both outlier and hold-out"):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"], holdouts=["12PM"])
+
+    def test_duplicate_outliers_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError, match="duplicate"):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM", "12PM"])
+
+    def test_unknown_key_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError):
+            ScorpionQuery(sensors_table, q1, outliers=["3AM"])
+
+    def test_lambda_bounds(self, sensors_table, q1):
+        with pytest.raises(PartitionerError):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"], lam=1.5)
+
+    def test_negative_c_rejected(self, sensors_table, q1):
+        with pytest.raises(PartitionerError):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"], c=-0.1)
+
+    def test_negative_c_holdout_rejected(self, sensors_table, q1):
+        with pytest.raises(PartitionerError):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"], c_holdout=-1)
+
+
+class TestErrorVectors:
+    def test_scalar_broadcast(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM", "1PM"],
+                                error_vectors=-1.0)
+        assert problem.error_vectors == {("12PM",): -1.0, ("1PM",): -1.0}
+
+    def test_mapping_by_scalar_key(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                                error_vectors={"12PM": 1.0})
+        assert problem.error_vectors[("12PM",)] == 1.0
+
+    def test_mapping_by_tuple_key(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                                error_vectors={("12PM",): -1.0})
+        assert problem.error_vectors[("12PM",)] == -1.0
+
+    def test_missing_vector_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError, match="no error vector"):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM", "1PM"],
+                          error_vectors={"12PM": 1.0})
+
+
+class TestAttributes:
+    def test_default_rest_attributes(self, paper_problem):
+        assert set(paper_problem.attributes) == {"sensorid", "voltage", "humidity"}
+
+    def test_explicit_attributes(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                                attributes=["voltage"])
+        assert problem.attributes == ("voltage",)
+
+    def test_reserved_attribute_rejected(self, sensors_table, q1):
+        with pytest.raises(QueryError):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                          attributes=["temp"])
+
+    def test_ignore(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                                ignore=["humidity"])
+        assert set(problem.attributes) == {"sensorid", "voltage"}
+
+    def test_all_ignored_rejected(self, sensors_table, q1):
+        with pytest.raises(PartitionerError):
+            ScorpionQuery(sensors_table, q1, outliers=["12PM"],
+                          ignore=["humidity", "voltage", "sensorid"])
+
+    def test_domain_built_from_table(self, paper_problem):
+        assert paper_problem.domain["voltage"].lo == pytest.approx(2.3)
+        assert paper_problem.domain["voltage"].hi == pytest.approx(2.7)
+
+
+class TestDerived:
+    def test_c_holdout_defaults_to_c(self, sensors_table, q1):
+        problem = ScorpionQuery(sensors_table, q1, outliers=["12PM"], c=0.3)
+        assert problem.c_holdout == 0.3
+
+    def test_with_c_preserves_annotations(self, paper_problem):
+        clone = paper_problem.with_c(0.2)
+        assert clone.c == 0.2
+        assert clone.outlier_keys == paper_problem.outlier_keys
+        assert clone.holdout_keys == paper_problem.holdout_keys
+        assert clone.error_vectors == paper_problem.error_vectors
+        assert clone.attributes == paper_problem.attributes
+
+    def test_results_have_provenance(self, paper_problem):
+        for result in paper_problem.results:
+            assert result.group_size == 3
+
+    def test_repr(self, paper_problem):
+        assert "outliers=2" in repr(paper_problem)

@@ -1,0 +1,156 @@
+"""Unit tests for the group-by engine, result sets, and provenance."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates import Avg, StdDev, Sum
+from repro.errors import QueryError
+from repro.query.groupby import GroupByQuery
+from repro.query.provenance import Provenance
+from repro.query.result import AggregateResult, ResultSet
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+
+class TestGroupByQuery:
+    def test_q1_results_match_paper(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        assert results.by_key("11AM").value == pytest.approx(34.667, abs=1e-3)
+        assert results.by_key("12PM").value == pytest.approx(56.667, abs=1e-3)
+        assert results.by_key("1PM").value == pytest.approx(50.0)
+
+    def test_provenance_indices(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        assert results.by_key("12PM").indices.tolist() == [3, 4, 5]
+
+    def test_group_sizes(self, sensors_table, q1):
+        for result in q1.execute(sensors_table):
+            assert result.group_size == 3
+
+    def test_multi_column_group_by(self, sensors_table):
+        query = GroupByQuery(["time", "sensorid"], Avg(), "temp")
+        results = query.execute(sensors_table)
+        assert len(results) == 9
+
+    def test_where_filters_before_grouping(self, sensors_table):
+        query = GroupByQuery(
+            "time", Avg(), "temp",
+            where=lambda t: t.column("sensorid").membership_mask([1, 2]))
+        results = query.execute(sensors_table)
+        assert results.by_key("12PM").value == pytest.approx(35.0)
+
+    def test_where_provenance_refers_to_filtered_table(self, sensors_table):
+        query = GroupByQuery(
+            "time", Avg(), "temp",
+            where=lambda t: t.column("sensorid").membership_mask([3]))
+        filtered = query.filtered(sensors_table)
+        results = query.execute(sensors_table)
+        for result in results:
+            assert int(np.max(result.indices)) < len(filtered)
+
+    def test_rest_attributes(self, sensors_table, q1):
+        rest = q1.rest_attributes(sensors_table)
+        assert set(rest) == {"sensorid", "voltage", "humidity"}
+
+    def test_rest_attributes_with_ignore(self, sensors_table, q1):
+        rest = q1.rest_attributes(sensors_table, ignore=["humidity"])
+        assert set(rest) == {"sensorid", "voltage"}
+
+    def test_agg_column_in_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            GroupByQuery("temp", Avg(), "temp")
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            GroupByQuery([], Avg(), "temp")
+
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            GroupByQuery("time", "avg", "temp")
+
+    def test_discrete_agg_column_rejected(self, sensors_table):
+        query = GroupByQuery("time", Avg(), "sensorid")
+        with pytest.raises(QueryError):
+            query.execute(sensors_table)
+
+    def test_stddev_query(self, sensors_table):
+        query = GroupByQuery("time", StdDev(), "temp")
+        results = query.execute(sensors_table)
+        assert results.by_key("11AM").value == pytest.approx(
+            float(np.std([34.0, 35.0, 35.0])))
+
+
+class TestResultSet:
+    def _results(self) -> ResultSet:
+        return ResultSet(
+            [AggregateResult(("b",), 2.0, np.asarray([1])),
+             AggregateResult(("a",), 1.0, np.asarray([0]))],
+            group_by=("g",), aggregate_name="sum", aggregate_column="v")
+
+    def test_sorted_by_key(self):
+        assert self._results().keys() == [("a",), ("b",)]
+
+    def test_by_key_scalar_wrapping(self):
+        assert self._results().by_key("a").value == 1.0
+
+    def test_by_key_missing(self):
+        with pytest.raises(QueryError):
+            self._results().by_key("zz")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(QueryError):
+            ResultSet([AggregateResult(("a",), 1.0, np.asarray([0])),
+                       AggregateResult(("a",), 2.0, np.asarray([1]))],
+                      ("g",), "sum", "v")
+
+    def test_values_array(self):
+        np.testing.assert_array_equal(self._results().values(), [1.0, 2.0])
+
+    def test_to_string(self):
+        rendered = self._results().to_string()
+        assert "sum(v)" in rendered and "a" in rendered
+
+    def test_mixed_key_types_sortable(self):
+        results = ResultSet(
+            [AggregateResult((1,), 1.0, np.asarray([0])),
+             AggregateResult(("a",), 2.0, np.asarray([1]))],
+            ("g",), "sum", "v")
+        assert len(results.keys()) == 2
+
+
+class TestProvenance:
+    def test_resolve_by_key(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        prov = Provenance(q1.filtered(sensors_table), results)
+        resolved = prov.resolve(["12PM", ("1PM",)])
+        assert [r.key for r in resolved] == [("12PM",), ("1PM",)]
+
+    def test_resolve_by_result_object(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        prov = Provenance(q1.filtered(sensors_table), results)
+        resolved = prov.resolve([results.by_key("11AM")])
+        assert resolved[0].key == ("11AM",)
+
+    def test_union_input_group_dedupes(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        prov = Provenance(q1.filtered(sensors_table), results)
+        both = prov.resolve(["12PM", "1PM"])
+        union = prov.union_input_group(both)
+        assert union.tolist() == [3, 4, 5, 6, 7, 8]
+
+    def test_union_empty(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        prov = Provenance(q1.filtered(sensors_table), results)
+        assert len(prov.union_input_group([])) == 0
+
+    def test_input_rows_materialization(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        prov = Provenance(q1.filtered(sensors_table), results)
+        rows = prov.input_rows(results.by_key("12PM"))
+        assert len(rows) == 3
+        assert rows.values("temp").tolist() == [35.0, 35.0, 100.0]
+
+    def test_out_of_range_indices_rejected(self, sensors_table, q1):
+        results = q1.execute(sensors_table)
+        tiny = sensors_table.take([0, 1])
+        with pytest.raises(QueryError):
+            Provenance(tiny, results)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.table.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+
+
+class TestColumnSpec:
+    def test_continuous_flags(self):
+        spec = ColumnSpec("temp", ColumnKind.CONTINUOUS)
+        assert spec.is_continuous
+        assert not spec.is_discrete
+
+    def test_discrete_flags(self):
+        spec = ColumnSpec("sensorid", ColumnKind.DISCRETE)
+        assert spec.is_discrete
+        assert not spec.is_continuous
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", ColumnKind.CONTINUOUS)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec(123, ColumnKind.CONTINUOUS)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "continuous")
+
+    def test_equality_and_hash(self):
+        a = ColumnSpec("x", ColumnKind.CONTINUOUS)
+        b = ColumnSpec("x", ColumnKind.CONTINUOUS)
+        c = ColumnSpec("x", ColumnKind.DISCRETE)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestSchema:
+    def _schema(self) -> Schema:
+        return Schema([
+            ColumnSpec("time", ColumnKind.DISCRETE),
+            ColumnSpec("temp", ColumnKind.CONTINUOUS),
+            ColumnSpec("voltage", ColumnKind.CONTINUOUS),
+        ])
+
+    def test_names_preserve_order(self):
+        assert self._schema().names == ("time", "temp", "voltage")
+
+    def test_len_and_iter(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert [s.name for s in schema] == ["time", "temp", "voltage"]
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "temp" in schema
+        assert "missing" not in schema
+
+    def test_getitem(self):
+        assert self._schema()["temp"].is_continuous
+
+    def test_getitem_unknown_raises_with_candidates(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self._schema()["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([ColumnSpec("x", ColumnKind.CONTINUOUS),
+                    ColumnSpec("x", ColumnKind.DISCRETE)])
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["not-a-spec"])
+
+    def test_kind_of(self):
+        assert self._schema().kind_of("time") is ColumnKind.DISCRETE
+
+    def test_continuous_and_discrete_names(self):
+        schema = self._schema()
+        assert schema.continuous_names() == ("temp", "voltage")
+        assert schema.discrete_names() == ("time",)
+
+    def test_project_reorders(self):
+        projected = self._schema().project(["voltage", "time"])
+        assert projected.names == ("voltage", "time")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().project(["nope"])
+
+    def test_drop(self):
+        dropped = self._schema().drop(["temp"])
+        assert dropped.names == ("time", "voltage")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().drop(["nope"])
+
+    def test_equality_and_hash(self):
+        assert self._schema() == self._schema()
+        assert hash(self._schema()) == hash(self._schema())
+        assert self._schema() != self._schema().drop(["temp"])

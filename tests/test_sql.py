@@ -1,0 +1,114 @@
+"""Unit tests for the mini SQL parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.sql import parse_query
+
+
+class TestParsing:
+    def test_q1(self):
+        q = parse_query("SELECT avg(temp) FROM sensors GROUP BY time")
+        assert q.aggregate_name == "avg"
+        assert q.agg_column == "temp"
+        assert q.group_by == ("time",)
+        assert q.table_name == "sensors"
+        assert q.conditions == ()
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query("select SUM(v) from t group by g")
+        assert q.aggregate_name == "SUM"
+        assert q.group_by == ("g",)
+
+    def test_expenses_query(self):
+        q = parse_query(
+            "SELECT sum(disb_amt) FROM expenses "
+            "WHERE candidate = 'Obama' GROUP BY date")
+        assert q.conditions[0].column == "candidate"
+        assert q.conditions[0].literal == "Obama"
+
+    def test_numeric_conditions_and_conjunction(self):
+        q = parse_query(
+            "SELECT stddev(temp) FROM readings "
+            "WHERE time >= 10 AND time <= 20 GROUP BY hour")
+        assert len(q.conditions) == 2
+        assert q.conditions[0].op == ">="
+        assert q.conditions[1].literal == 20.0
+
+    def test_escaped_quote_in_string(self):
+        q = parse_query("SELECT sum(v) FROM t WHERE n = 'O''Brien' GROUP BY g")
+        assert q.conditions[0].literal == "O'Brien"
+
+    def test_multi_group_by(self):
+        q = parse_query("SELECT avg(v) FROM t GROUP BY a, b")
+        assert q.group_by == ("a", "b")
+
+    def test_select_extra_columns_must_be_grouped(self):
+        q = parse_query("SELECT avg(v), g FROM t GROUP BY g")
+        assert q.select_columns == ("g",)
+        with pytest.raises(QueryError):
+            parse_query("SELECT avg(v), other FROM t GROUP BY g")
+
+
+class TestRejections:
+    @pytest.mark.parametrize("sql", [
+        "SELECT avg temp FROM t GROUP BY g",          # missing parens
+        "SELECT avg(temp) FROM t",                     # no GROUP BY
+        "SELECT avg(temp) GROUP BY g",                 # no FROM
+        "avg(temp) FROM t GROUP BY g",                 # no SELECT
+        "SELECT avg(temp) FROM t GROUP BY g extra",    # trailing tokens
+        "SELECT avg(temp) FROM t WHERE GROUP BY g",    # empty condition
+        "SELECT avg(temp) FROM t WHERE a ! 1 GROUP BY g",
+    ])
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(QueryError):
+            parse_query(sql)
+
+
+class TestExecution:
+    def test_to_query_runs(self, sensors_table):
+        q = parse_query("SELECT avg(temp) FROM sensors GROUP BY time").to_query()
+        results = q.execute(sensors_table)
+        assert results.by_key("1PM").value == pytest.approx(50.0)
+
+    def test_where_equality_on_discrete(self, sensors_table):
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE time = '11AM' GROUP BY time"
+        ).to_query()
+        results = q.execute(sensors_table)
+        assert len(results) == 1
+
+    def test_where_inequality_on_continuous(self, sensors_table):
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE voltage < 2.5 GROUP BY time"
+        ).to_query()
+        results = q.execute(sensors_table)
+        # Only the two low-voltage sensor-3 readings survive.
+        assert sum(r.group_size for r in results) == 2
+
+    def test_unknown_aggregate_rejected_at_to_query(self):
+        parsed = parse_query("SELECT nope(v) FROM t GROUP BY g")
+        from repro.errors import AggregateError
+        with pytest.raises(AggregateError):
+            parsed.to_query()
+
+    def test_string_vs_continuous_comparison_rejected(self, sensors_table):
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE voltage = 'x' GROUP BY time"
+        ).to_query()
+        with pytest.raises(QueryError):
+            q.execute(sensors_table)
+
+    def test_ordering_comparison_on_discrete_rejected(self, sensors_table):
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE time < '1PM' GROUP BY time"
+        ).to_query()
+        with pytest.raises(QueryError):
+            q.execute(sensors_table)
+
+    def test_not_equal_on_discrete(self, sensors_table):
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE sensorid != 3 GROUP BY time"
+        ).to_query()
+        results = q.execute(sensors_table)
+        assert results.by_key("12PM").value == pytest.approx(35.0)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.table.table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+SCHEMA = Schema([
+    ColumnSpec("g", ColumnKind.DISCRETE),
+    ColumnSpec("x", ColumnKind.CONTINUOUS),
+])
+ROWS = [("a", 1.0), ("b", 2.0), ("a", 3.0), ("c", 4.0)]
+
+
+def small() -> Table:
+    return Table.from_rows(SCHEMA, ROWS)
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        table = small()
+        assert len(table) == 4
+        assert table.num_columns == 2
+
+    def test_from_rows_wrong_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(SCHEMA, [("a", 1.0, 9)])
+
+    def test_from_columns(self):
+        table = Table.from_columns(SCHEMA, {"g": ["a"], "x": [1.0]})
+        assert table.row(0) == {"g": "a", "x": 1.0}
+
+    def test_from_columns_missing_rejected(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Table.from_columns(SCHEMA, {"g": ["a"]})
+
+    def test_from_columns_extra_rejected(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            Table.from_columns(SCHEMA, {"g": ["a"], "x": [1.0], "y": [2]})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(SCHEMA, {"g": ["a", "b"], "x": [1.0]})
+
+    def test_empty(self):
+        table = Table.empty(SCHEMA)
+        assert len(table) == 0
+        assert table.schema == SCHEMA
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([])
+
+
+class TestAccess:
+    def test_column_and_values(self):
+        assert small().values("x").tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            small().column("zz")
+
+    def test_row_negative_index(self):
+        assert small().row(-1) == {"g": "c", "x": 4.0}
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            small().row(4)
+
+    def test_iter_rows(self):
+        rows = list(small().iter_rows())
+        assert rows[2] == {"g": "a", "x": 3.0}
+
+    def test_equality(self):
+        assert small() == small()
+        assert small() != small().take([0, 1, 2])
+
+
+class TestRelationalOps:
+    def test_filter(self):
+        mask = np.asarray([True, False, True, False])
+        assert small().filter(mask).values("x").tolist() == [1.0, 3.0]
+
+    def test_filter_wrong_shape_rejected(self):
+        with pytest.raises(SchemaError):
+            small().filter(np.asarray([True]))
+
+    def test_take_preserves_order(self):
+        taken = small().take([3, 0])
+        assert taken.values("x").tolist() == [4.0, 1.0]
+
+    def test_take_allows_duplicates(self):
+        assert len(small().take([0, 0, 0])) == 3
+
+    def test_project(self):
+        projected = small().project(["x"])
+        assert projected.schema.names == ("x",)
+
+    def test_concat(self):
+        doubled = small().concat(small())
+        assert len(doubled) == 8
+
+    def test_concat_schema_mismatch_rejected(self):
+        other = Table.from_columns(Schema([ColumnSpec("g", ColumnKind.DISCRETE)]),
+                                   {"g": ["z"]})
+        with pytest.raises(SchemaError):
+            small().concat(other)
+
+
+class TestGrouping:
+    def test_group_indices_single_key(self):
+        groups = small().group_indices("g")
+        assert set(groups) == {("a",), ("b",), ("c",)}
+        assert groups[("a",)].tolist() == [0, 2]
+
+    def test_group_indices_multi_key(self):
+        schema = Schema([
+            ColumnSpec("a", ColumnKind.DISCRETE),
+            ColumnSpec("b", ColumnKind.DISCRETE),
+        ])
+        table = Table.from_rows(schema, [("x", 1), ("x", 2), ("x", 1)])
+        groups = table.group_indices(["a", "b"])
+        assert groups[("x", 1)].tolist() == [0, 2]
+
+    def test_group_indices_cover_all_rows(self):
+        groups = small().group_indices("g")
+        total = sum(len(ix) for ix in groups.values())
+        assert total == len(small())
+
+    def test_group_indices_empty_by_rejected(self):
+        with pytest.raises(SchemaError):
+            small().group_indices([])
+
+
+class TestDisplay:
+    def test_to_string_contains_header_and_rows(self):
+        rendered = small().to_string()
+        assert "g" in rendered and "x" in rendered
+        assert "a" in rendered
+
+    def test_to_string_truncates(self):
+        rendered = small().to_string(max_rows=2)
+        assert "more rows" in rendered
