@@ -19,6 +19,26 @@ import numpy as np
 from repro.aggregates.base import AggregateFunction, LinearStateAggregate
 from repro.errors import AggregateError
 
+#: Relative threshold below which a state component is treated as pure
+#: floating-point cancellation residue in ``remove``.  Subtracting the
+#: state of a removed subset cancels the large components of
+#: ``[sum, sum_sq]`` almost exactly; what survives can be rounding noise
+#: on the order of ``n · eps`` times the cancelled magnitude (~1e-13 at
+#: worst), so anything under 1e-12 of that magnitude carries no
+#: information.
+_STATE_RTOL = 1e-12
+
+#: Relative threshold below which a recovered variance is clamped to an
+#: exact zero.  A few ulps of ``mean_sq + mean²`` is the intrinsic
+#: rounding floor of the ``mean_sq − mean²`` subtraction itself; staying
+#: this tight keeps genuinely small variances (relative spread down to
+#: ~1e-7 of the mean) intact.  Larger residues inherited from *removed*
+#: data are handled in :meth:`Variance.remove`, which still sees the
+#: cancelled magnitude.
+_VARIANCE_RTOL = 1e-15
+
+_EPS = float(np.finfo(np.float64).eps)
+
 
 class Sum(LinearStateAggregate):
     """SUM — incrementally removable, independent, anti-monotone on
@@ -106,20 +126,63 @@ class Variance(LinearStateAggregate):
         values = np.asarray(values, dtype=np.float64)
         return np.column_stack([values, values * values, np.ones_like(values)])
 
+    def remove(self, state_d: np.ndarray, state_s: np.ndarray) -> np.ndarray:
+        result = super().remove(state_d, state_s)
+        state_d = np.asarray(state_d, dtype=np.float64)
+        # Removing most of a group cancels the [sum, sum_sq] components
+        # almost exactly; a surviving residue below _STATE_RTOL of the
+        # minuend is rounding noise standing in for a true zero, and
+        # letting it through makes recover() report a phantom variance
+        # for a remainder of identical values.
+        minuend = np.abs(state_d[:2])
+        noise = np.abs(result[:2]) <= _STATE_RTOL * minuend
+        result[:2] = np.where(noise, 0.0, result[:2])
+        # Subtler cancellation: a residue can ride on top of a *legit*
+        # remaining component (e.g. one surviving tuple), leaving the
+        # implied variance equal to pure rounding noise inherited from
+        # the removed data's magnitude.  Only remove() still sees that
+        # magnitude, so the noise floor is judged here: when the
+        # remainder's variance sits below it, rewrite sum_sq to the
+        # variance-zero state so recover() lands on an exact 0.
+        total, total_sq, count = result
+        count_d = state_d[2]
+        if count >= 1 and count_d > 0:
+            mean = total / count
+            variance = total_sq / count - mean * mean
+            cancelled = (abs(float(state_d[1]))
+                         + float(state_d[0]) ** 2 / count_d) / count
+            if variance <= 4.0 * _EPS * count_d * cancelled:
+                result[1] = total * total / count
+        # Scope note: the Scorer's hot paths subtract states inline and
+        # never call remove(), so these clamps guard the public state
+        # protocol; scoring relies on the recover()/recover_batch()
+        # clamp below (its few-ulp floor matches the inline paths, whose
+        # subtractions cancel same-magnitude states directly).
+        return result
+
     def recover(self, state: np.ndarray) -> float:
         total, total_sq, count = state
         if count <= 0:
             raise AggregateError("variance is undefined on empty input")
         mean = total / count
-        # Clamp tiny negatives introduced by floating-point cancellation.
-        return float(max(total_sq / count - mean * mean, 0.0))
+        mean_sq = total_sq / count
+        variance = mean_sq - mean * mean
+        # ``mean_sq − mean²`` cancels catastrophically when the values are
+        # near-identical: clamp negatives and anything within rounding
+        # noise of the cancelled magnitude to an exact zero.
+        if variance <= _VARIANCE_RTOL * (mean_sq + mean * mean):
+            return 0.0
+        return float(variance)
 
     def recover_batch(self, states: np.ndarray) -> np.ndarray:
         states = np.asarray(states, dtype=np.float64)
         counts = states[:, 2]
         with np.errstate(divide="ignore", invalid="ignore"):
             means = states[:, 0] / counts
-            out = np.maximum(states[:, 1] / counts - means * means, 0.0)
+            mean_sq = states[:, 1] / counts
+            out = mean_sq - means * means
+            out = np.where(
+                out <= _VARIANCE_RTOL * (mean_sq + means * means), 0.0, out)
         out[counts <= 0] = np.nan
         return out
 

@@ -21,6 +21,13 @@ space so that tuples inside each partition have similar influence:
 
 The emitted candidates carry per-group removal statistics so the Merger
 can use the Section 6.3 cached-tuple approximation.
+
+Leaf scoring is batched: all leaf/combined predicates are evaluated per
+group as chunked mask matrices (:meth:`ArrayMaskEvaluator.evaluate_batch`)
+and their removal statistics and sampled-influence scores come from two
+``einsum`` contractions per chunk.  Exact influence scoring of the
+candidates happens downstream — the Merger batch-scores its expansion
+starts through :meth:`InfluenceScorer.score_batch`.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.core.partition import CandidatePredicate, GroupRemovalStats, Partitio
 from repro.core.problem import ScorpionQuery
 from repro.errors import PartitionerError
 from repro.predicates.clause import Clause, RangeClause, SetClause
+from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
 from repro.tree.node import TreeNode
 from repro.tree.splits import Split, node_error, range_split_errors, split_error
@@ -535,27 +543,58 @@ class DTPartitioner:
     # ------------------------------------------------------------------
     def _build_candidates(self, predicates: list[Predicate],
                           outlier_groups: list[_GroupData]) -> list[CandidatePredicate]:
+        """Removal statistics and sampled-influence scores for every
+        emitted predicate, computed one *group* at a time: each group
+        evaluates the whole predicate set as one mask matrix, and counts,
+        summed states, and influence sums fall out of vectorized
+        contractions against that matrix."""
+        if not predicates:
+            return []
+        n_preds = len(predicates)
+        # Chunk the predicate axis so the transient mask matrix and its
+        # float copy stay bounded regardless of leaf count × group size.
+        chunk_size = InfluenceScorer.BATCH_CHUNK
+        influence_sums = np.zeros(n_preds, dtype=np.float64)
+        influence_counts = np.zeros(n_preds, dtype=np.int64)
+        counts_by_group: list[np.ndarray] = []
+        states_by_group: list[np.ndarray | None] = []
+        for group in outlier_groups:
+            evaluator = ArrayMaskEvaluator(group.values)
+            counts = np.empty(n_preds, dtype=np.int64)
+            states = None
+            if group.context.tuple_states is not None:
+                states = np.empty(
+                    (n_preds, group.context.tuple_states.shape[1]),
+                    dtype=np.float64)
+            for lo in range(0, n_preds, chunk_size):
+                hi = min(lo + chunk_size, n_preds)
+                masks = evaluator.evaluate_batch(predicates[lo:hi])
+                masks_f = masks.astype(np.float64)
+                counts[lo:hi] = np.count_nonzero(masks, axis=1)
+                influence_sums[lo:hi] += np.einsum(
+                    "mn,n->m", masks_f, group.influences)
+                if states is not None:
+                    states[lo:hi] = np.einsum(
+                        "mn,nk->mk", masks_f, group.context.tuple_states)
+            influence_counts += counts
+            counts_by_group.append(counts)
+            states_by_group.append(states)
+
         candidates = []
-        for predicate in predicates:
+        for p_index, predicate in enumerate(predicates):
+            if influence_counts[p_index] == 0:
+                continue  # matches no outlier rows; cannot influence O
             stats: dict[tuple, GroupRemovalStats] = {}
-            influence_sum = 0.0
-            influence_n = 0
-            for group in outlier_groups:
-                mask = predicate.mask_arrays(group.values, group.size)
-                count = int(np.count_nonzero(mask))
+            for g_index, group in enumerate(outlier_groups):
+                count = int(counts_by_group[g_index][p_index])
                 if count == 0:
                     continue
-                state_sum = None
-                if group.context.tuple_states is not None:
-                    state_sum = group.context.tuple_states[mask].sum(axis=0)
+                states = states_by_group[g_index]
+                state_sum = None if states is None else states[p_index]
                 stats[group.context.key] = GroupRemovalStats(count, state_sum)
-                influence_sum += float(np.sum(group.influences[mask]))
-                influence_n += count
-            if influence_n == 0:
-                continue  # matches no outlier rows; cannot influence O
             candidates.append(CandidatePredicate(
                 predicate=predicate,
-                score=influence_sum / influence_n,
+                score=float(influence_sums[p_index] / influence_counts[p_index]),
                 group_stats=stats,
                 volume=self._query.domain.volume_fraction(predicate),
             ))

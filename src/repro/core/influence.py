@@ -21,11 +21,40 @@ Both paths share the same edge-case policy: a predicate matching no rows
 of a group has zero influence there, and a predicate deleting an *entire*
 group whose aggregate has no empty value yields ``-inf`` (the output row
 would vanish rather than look normal; see DESIGN.md §4 item 3).
+
+Batched scoring
+---------------
+
+:meth:`InfluenceScorer.score_batch` evaluates a whole predicate *set* in
+one vectorized pass: the labeled-row evaluator builds an
+``(n_predicates, n_rows)`` boolean mask matrix ``M`` (see
+:meth:`repro.predicates.evaluator.ArrayMaskEvaluator.evaluate_batch`),
+and on the incrementally-removable path every predicate's per-group
+removed state — conceptually the matrix product ``M_g @ tuple_states_g``
+— is realized as a scatter-add over the matrix's non-zeros, followed by
+a single ``recover_batch`` per group.  Black-box aggregates fall back to
+a per-predicate recompute loop inside the same bookkeeping.
+
+**Equivalence contract**: ``score_batch(preds)[i] == score(preds[i])``
+for every predicate, bit for bit.  The scalar path reduces a matched
+row's states with a masked sum and the batch path with a row-major
+``bincount`` scatter-add — both accumulate the per-tuple states in
+ascending row order, so the removed states (and all downstream
+elementwise arithmetic, which the two paths share op-for-op) are
+identical floats.  BLAS ``matmul`` is deliberately avoided here: its
+blocked reductions are not row-deterministic across batch shapes.  (One
+caveat: a single-component state vector is reduced pairwise by the
+scalar path's contiguous sum; of the built-ins only COUNT has
+``state_size == 1`` and its integer states make any summation order
+exact.)  The memo cache is shared, so mixing ``score`` and
+``score_batch`` calls never recomputes and never disagrees.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -36,6 +65,23 @@ from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
 
 INVALID_INFLUENCE = float("-inf")
+
+
+def _scalar_pow(bases: np.ndarray, exponent: float) -> np.ndarray:
+    """``bases ** exponent`` through *scalar* libm pow.
+
+    NumPy's vectorized ``**`` routes through a SIMD pow whose results can
+    differ from scalar ``pow`` in the last ulp, which would break the
+    bit-for-bit scalar/batch equivalence contract.  Matched-row counts
+    repeat heavily, so one scalar pow per unique count is also cheap."""
+    if exponent == 1.0:
+        return bases
+    if exponent == 0.0:
+        return np.ones_like(bases)
+    uniques, inverse = np.unique(bases, return_inverse=True)
+    table = np.asarray([value ** exponent for value in uniques.tolist()],
+                       dtype=np.float64)
+    return table[inverse]
 
 
 @dataclass
@@ -83,13 +129,34 @@ class GroupContext:
 @dataclass
 class ScorerStats:
     """Operation counters, used by the benchmarks to show what the
-    incrementally-removable property saves."""
+    incrementally-removable property (and batching) saves."""
 
     predicate_scores: int = 0
     mask_scores: int = 0
     incremental_deltas: int = 0
     full_recomputes: int = 0
     cache_hits: int = 0
+    #: Number of :meth:`InfluenceScorer.score_batch` invocations.
+    batch_calls: int = 0
+    #: Predicates submitted through the batch API (cache hits included).
+    batch_predicates: int = 0
+    #: Largest single batch submitted.
+    largest_batch: int = 0
+    #: Wall-clock seconds spent inside ``score_batch``.
+    batch_seconds: float = 0.0
+
+    @property
+    def batch_throughput(self) -> float:
+        """Predicates per second through the batch API (0 before use)."""
+        if self.batch_seconds <= 0.0:
+            return 0.0
+        return self.batch_predicates / self.batch_seconds
+
+    def as_dict(self) -> dict:
+        """Counters plus derived throughput, for result reporting."""
+        data = vars(self).copy()
+        data["batch_throughput"] = self.batch_throughput
+        return data
 
     def reset(self) -> None:
         self.predicate_scores = 0
@@ -97,6 +164,10 @@ class ScorerStats:
         self.incremental_deltas = 0
         self.full_recomputes = 0
         self.cache_hits = 0
+        self.batch_calls = 0
+        self.batch_predicates = 0
+        self.largest_batch = 0
+        self.batch_seconds = 0.0
 
 
 class InfluenceScorer:
@@ -156,6 +227,19 @@ class InfluenceScorer:
             for attr in query.attributes
         })
         self._n_labeled = offset
+        # Batch-kernel companions: which context each labeled row belongs
+        # to, and all per-tuple state rows stacked in labeled-row order.
+        self._context_ids = np.concatenate([
+            np.full(ctx.size, ci, dtype=np.int64)
+            for ci, ctx in enumerate(self.contexts)
+        ]) if offset else np.empty(0, dtype=np.int64)
+        #: Outlier contexts come first in the labeled concatenation, so
+        #: columns [0, _outlier_cols) are exactly the outlier rows.
+        self._outlier_cols = sum(ctx.size for ctx in self.outlier_contexts)
+        self._stacked_states = (
+            np.vstack([ctx.tuple_states for ctx in self.contexts])
+            if self._incremental and offset else None
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -322,6 +406,189 @@ class InfluenceScorer:
         """``inf(O, ∅, p, V)`` — MC's conservative pruning estimate
         (Section 6.2)."""
         return self.score(predicate, ignore_holdouts=True)
+
+    # ------------------------------------------------------------------
+    # Batched scoring (see module docstring for the equivalence contract)
+    # ------------------------------------------------------------------
+    #: Internal row cap per vectorized pass; bounds the transient mask
+    #: matrix and float temporaries without affecting results (the kernel
+    #: is row-deterministic, so chunking is invisible).
+    BATCH_CHUNK = 1024
+
+    @property
+    def caches_scores(self) -> bool:
+        """Whether predicate → influence results are memoized (callers
+        use this to decide if pre-warming the cache in bulk pays off)."""
+        return self._score_cache is not None
+
+    def score_batch(self, predicates: Sequence[Predicate] | Iterable[Predicate],
+                    ignore_holdouts: bool = False) -> np.ndarray:
+        """``inf(O, H, p, V)`` for every predicate, as one vectorized pass.
+
+        Returns a float array aligned with ``predicates`` whose entries
+        equal ``[self.score(p, ignore_holdouts) for p in predicates]``
+        exactly; results populate the same memo cache ``score`` reads.
+        Predicates over attributes outside the labeled evaluator (or any
+        predicate when the aggregate is black-box at the Δ level) are
+        scored through the scalar machinery within the same call.
+        """
+        predicates = list(predicates)
+        started = time.perf_counter()
+        self.stats.batch_calls += 1
+        self.stats.batch_predicates += len(predicates)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(predicates))
+        self.stats.predicate_scores += len(predicates)
+        cache = self._outlier_score_cache if ignore_holdouts else self._score_cache
+
+        out = np.empty(len(predicates), dtype=np.float64)
+        pending: dict[Predicate, list[int]] = {}
+        fallback: list[int] = []
+        for i, predicate in enumerate(predicates):
+            if cache is not None and predicate in cache:
+                self.stats.cache_hits += 1
+                out[i] = cache[predicate]
+            elif predicate in pending:
+                pending[predicate].append(i)
+            elif not self._labeled_evaluator.supports_predicate(predicate):
+                fallback.append(i)
+            else:
+                pending[predicate] = [i]
+
+        todo = list(pending)
+        for lo in range(0, len(todo), self.BATCH_CHUNK):
+            chunk = todo[lo:lo + self.BATCH_CHUNK]
+            matrix = self._labeled_evaluator.evaluate_batch(chunk)
+            if ignore_holdouts and self.holdout_contexts:
+                # Hold-out contexts are skipped entirely downstream;
+                # dropping their columns up front keeps the scatter-add
+                # kernel from scanning and bucketing their set bits.
+                matrix = matrix[:, :self._outlier_cols]
+            self.stats.mask_scores += len(chunk)
+            values = self._score_mask_matrix(matrix, ignore_holdouts)
+            for predicate, value in zip(chunk, values):
+                value = float(value)
+                if cache is not None:
+                    cache[predicate] = value
+                for i in pending[predicate]:
+                    out[i] = value
+
+        for i in fallback:
+            predicate = predicates[i]
+            if cache is not None and predicate in cache:
+                # Duplicate of an earlier fallback entry in this batch.
+                out[i] = cache[predicate]
+                continue
+            value = self._score_local(self._labeled_masks(predicate),
+                                      ignore_holdouts)
+            if cache is not None:
+                cache[predicate] = value
+            out[i] = value
+
+        self.stats.batch_seconds += time.perf_counter() - started
+        return out
+
+    def _score_mask_matrix(self, matrix: np.ndarray,
+                           ignore_holdouts: bool) -> np.ndarray:
+        """The metric for every row of an ``(m, n_labeled)`` mask matrix.
+
+        Vector counterpart of :meth:`_score_local`.  One row-major scan
+        of the matrix produces, via composite ``(predicate, context)``
+        bincount keys, every predicate's per-context matched count and
+        summed removed state; per-context influences are then accumulated
+        in the same context order with the same elementwise arithmetic as
+        the scalar path, so each row matches the scalar result.
+
+        The scatter-add kernel is O(set bits) rather than the dense
+        O(m·n) of a matrix product, and — because ``np.nonzero`` is
+        row-major and ``bincount`` accumulates in input order — each
+        predicate's states are summed in ascending row order,
+        bit-identical to the scalar path's masked sum.  (BLAS ``matmul``
+        is deliberately avoided: its blocked reductions are not
+        row-deterministic.)"""
+        m = matrix.shape[0]
+        n_ctx = len(self._labeled_slices)
+        pred_rows, labeled_cols = np.nonzero(matrix)
+        keys = pred_rows * n_ctx + self._context_ids[labeled_cols]
+        counts = np.bincount(keys, minlength=m * n_ctx).reshape(m, n_ctx)
+        removed = None
+        if self._incremental and self._stacked_states is not None and len(keys):
+            gathered = self._stacked_states[labeled_cols]
+            removed = np.empty((m * n_ctx, gathered.shape[1]), dtype=np.float64)
+            for j in range(gathered.shape[1]):
+                removed[:, j] = np.bincount(
+                    keys, weights=gathered[:, j], minlength=m * n_ctx)
+            removed = removed.reshape(m, n_ctx, -1)
+
+        outlier_total = np.zeros(m, dtype=np.float64)
+        worst = np.zeros(m, dtype=np.float64)
+        invalid = np.zeros(m, dtype=bool)
+        for ci, (context, start, stop) in enumerate(self._labeled_slices):
+            if not context.is_outlier and ignore_holdouts:
+                continue
+            influences = self._group_influence_batch(
+                context, counts[:, ci],
+                removed[:, ci, :] if removed is not None else None,
+                matrix[:, start:stop])
+            invalid |= influences == INVALID_INFLUENCE
+            if context.is_outlier:
+                outlier_total = outlier_total + influences
+            else:
+                worst = np.maximum(worst, np.abs(influences))
+        scores = self.lam * outlier_total / max(len(self.outlier_contexts), 1)
+        if not ignore_holdouts and self.holdout_contexts:
+            scores = scores - (1.0 - self.lam) * worst
+        scores[invalid] = INVALID_INFLUENCE
+        return scores
+
+    def _group_influence_batch(self, context: GroupContext, counts: np.ndarray,
+                               removed_states: np.ndarray | None,
+                               local_matrix: np.ndarray) -> np.ndarray:
+        """Per-predicate influence on one group given the group's matched
+        counts and (on the incremental path) summed removed states.
+        Mirrors :meth:`group_influence` row-wise; black-box aggregates
+        recompute per predicate from the group's mask-matrix slice."""
+        influences = np.zeros(len(counts), dtype=np.float64)
+        matched = np.flatnonzero(counts)
+        if not len(matched):
+            return influences
+        counts_f = counts[matched].astype(np.float64)
+        if self._incremental:
+            assert removed_states is not None
+            self.stats.incremental_deltas += len(matched)
+            updated = self._updated_from_removed_batch(
+                context, removed_states[matched], counts_f)
+            deltas = context.total_value - updated
+        else:
+            deltas = np.empty(len(matched), dtype=np.float64)
+            for j, i in enumerate(matched):
+                deltas[j] = self.delta(context, local_matrix[i])
+        exponent = self.c if context.is_outlier else self.c_holdout
+        with np.errstate(invalid="ignore"):
+            values = deltas / _scalar_pow(counts_f, exponent)
+        if context.is_outlier:
+            values = values * context.error_vector
+        influences[matched] = np.where(np.isnan(deltas), INVALID_INFLUENCE, values)
+        return influences
+
+    def _updated_from_removed_batch(self, context: GroupContext,
+                                    removed_states: np.ndarray,
+                                    removed_counts: np.ndarray) -> np.ndarray:
+        """Vector counterpart of :meth:`updated_from_removed` — the
+        group's post-removal aggregate per predicate, NaN where the
+        perturbation leaves it undefined."""
+        assert context.total_state is not None
+        if self.perturbation == "mean":
+            assert context.mean_state is not None
+            adjusted = (context.total_state - removed_states
+                        + removed_counts[:, np.newaxis] * context.mean_state)
+            return self.aggregate.recover_batch(adjusted)
+        remaining = context.total_state - removed_states
+        updated = self.aggregate.recover_batch(remaining)
+        emptied = remaining[:, -1] < 0.5  # deleted whole groups
+        if np.any(emptied):
+            empty = self.aggregate.empty_value
+            updated[emptied] = np.nan if empty is None else float(empty)
+        return updated
 
     # ------------------------------------------------------------------
     # Per-tuple influence (DT's split metric, MC's pruning bound)

@@ -15,10 +15,12 @@ retention conditions and reduces to its single-tuple rule at ``c = 1``
 
 Implementation note: every level-``k`` predicate is a cell of the
 ``k``-dimensional grid, so its matched outlier rows (*support*) flow
-through intersections as plain set intersections.  MC therefore never
-re-evaluates predicate masks inside the level loop; supports drive both
-pruning bounds and candidate generation, exactly like transaction lists
-in Apriori-style subspace clustering.
+through intersections as plain set intersections; supports drive the
+pruning bounds, exactly like transaction lists in Apriori-style subspace
+clustering.  The per-level candidate ranking — ``inf(O, ∅, p, V)`` for
+every surviving cell — goes through one
+:meth:`InfluenceScorer.score_batch` call per round rather than a Scorer
+round-trip per cell.
 """
 
 from __future__ import annotations
@@ -53,7 +55,9 @@ class _Cell:
 
 
 class _OutlierIndex:
-    """Precomputed per-outlier-row arrays for support-based scoring."""
+    """Precomputed per-outlier-row arrays for support-based pruning
+    bounds.  (Candidate *scoring* goes through the Scorer's batch API;
+    only the refinement bound still reads supports directly.)"""
 
     def __init__(self, scorer: InfluenceScorer):
         self.scorer = scorer
@@ -67,31 +71,6 @@ class _OutlierIndex:
                           posinf=0.0, neginf=0.0)
             for ctx in contexts
         ])
-        self.incremental = scorer.uses_incremental
-        if self.incremental:
-            self.states = np.vstack([ctx.tuple_states for ctx in contexts])
-        self.total_values = [ctx.total_value for ctx in contexts]
-        self.error_vectors = [ctx.error_vector for ctx in contexts]
-
-    def outlier_only_score(self, cell: _Cell) -> float:
-        """``inf(O, ∅, p, V)`` computed from the cell's support rows."""
-        scorer = self.scorer
-        if not self.incremental:
-            return scorer.outlier_only_score(cell.predicate)
-        rows = np.fromiter(cell.support, dtype=np.int64, count=len(cell.support))
-        groups = self.group_ids[rows]
-        total = 0.0
-        for g in np.unique(groups):
-            group_rows = rows[groups == g]
-            count = len(group_rows)
-            removed = self.states[group_rows].sum(axis=0)
-            updated = scorer.updated_from_removed(
-                scorer.outlier_contexts[g], removed, count)
-            if np.isnan(updated):
-                return INVALID_INFLUENCE
-            delta = self.total_values[g] - updated
-            total += delta / (count ** scorer.c) * self.error_vectors[g]
-        return scorer.lam * total / max(self.n_groups, 1)
 
     def refinement_bound(self, cell: _Cell) -> float:
         """Upper bound on any refinement's hold-out-free influence
@@ -174,10 +153,11 @@ class MCPartitioner:
             cells = self._prune(cells, index, best_influence)
             if not cells:
                 break
+            cell_scores = scorer.score_batch(
+                [cell.predicate for cell in cells], ignore_holdouts=True)
             candidates = [
-                CandidatePredicate(cell.predicate,
-                                   score=index.outlier_only_score(cell))
-                for cell in cells
+                CandidatePredicate(cell.predicate, score=float(score))
+                for cell, score in zip(cells, cell_scores)
             ]
             merged = merger.run(candidates)
             for scored in merged:

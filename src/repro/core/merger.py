@@ -22,6 +22,12 @@ scheme by storing each partition's exact summed state (same constant
 size, strictly more accurate — see DESIGN.md §4 item 7); partially
 overlapping partitions contribute volume-weighted fractions of their
 state exactly as Section 6.3's ``n_p`` estimates do.
+
+When the approximation is *off* (the MC partitioner's default merger
+configuration), each expansion round collects its candidate merges and
+scores them through one :meth:`InfluenceScorer.score_batch` call, and
+expansion starts are exact-scored in one warm-up batch, so the scalar
+Scorer round-trip disappears from the expansion loop either way.
 """
 
 from __future__ import annotations
@@ -200,6 +206,10 @@ class Merger:
             expansion_starts = [c.predicate for c in ranked[:n_expand]]
         else:
             expansion_starts = list(seeds)
+        if expansion_starts and self.scorer.caches_scores:
+            # Exact-score every start in one vectorized pass; the scalar
+            # calls below (record / adoption verification) hit the cache.
+            self.scorer.score_batch(expansion_starts)
         results: dict[Predicate, float] = {}
 
         def record(predicate: Predicate) -> None:
@@ -238,7 +248,7 @@ class Merger:
         current_estimate = self._estimate(current, candidates)
         merged_members: set[Predicate] = {current}
         for _ in range(self.params.max_rounds):
-            best_merge: tuple[Predicate, float, Predicate] | None = None
+            merges: list[tuple[Predicate, Predicate]] = []
             neighbors = 0
             for other in candidates:
                 if other.predicate in merged_members:
@@ -248,15 +258,16 @@ class Merger:
                 neighbors += 1
                 if neighbors > self.params.max_neighbors:
                     break
-                merged = current.merge(other.predicate)
-                influence = self._estimate(merged, candidates)
-                self.report.n_merge_evaluations += 1
-                if influence > current_estimate and (
-                        best_merge is None or influence > best_merge[1]):
-                    best_merge = (merged, influence, other.predicate)
-            if best_merge is None:
+                merges.append((current.merge(other.predicate), other.predicate))
+            if not merges:
                 break
-            merged, estimate, member = best_merge
+            estimates = self._estimate_batch([m for m, _ in merges])
+            self.report.n_merge_evaluations += len(merges)
+            best_index = int(np.argmax(estimates))
+            estimate = float(estimates[best_index])
+            if not estimate > current_estimate:
+                break
+            merged, member = merges[best_index]
             exact = self.scorer.score(merged)
             if exact <= current_exact:
                 break
@@ -273,6 +284,17 @@ class Merger:
             return self.scorer.score(predicate)
         self.report.n_scorer_calls_saved += 1
         return self._approximate(predicate)
+
+    def _estimate_batch(self, predicates: list[Predicate]) -> np.ndarray:
+        """One expansion round's candidate-merge influences.  Without the
+        cached-state index every merge needs an exact score — batched
+        through the Scorer's vectorized path; with it, the per-merge
+        approximation already avoids the Scorer entirely."""
+        if self._index is None:
+            return self.scorer.score_batch(predicates)
+        self.report.n_scorer_calls_saved += len(predicates)
+        return np.asarray([self._approximate(p) for p in predicates],
+                          dtype=np.float64)
 
     def _approximate(self, predicate: Predicate) -> float:
         """Cached-state influence estimate (Section 6.3).

@@ -11,6 +11,11 @@ modifications make it usable as the experimental baseline:
   budget, returning the most influential predicate found so far; every
   improvement is logged so Figure 11's convergence curves can be
   regenerated.
+
+Enumerated predicates are collected into fixed-size chunks and scored
+through :meth:`InfluenceScorer.score_batch` — one vectorized pass per
+chunk instead of a Scorer round-trip per predicate — while the budget
+checks still run per predicate, so truncation points are unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.core.influence import InfluenceScorer
 from repro.core.partition import BestTracker, PartitionerResult, ScoredPredicate
 from repro.core.problem import ScorpionQuery
 from repro.errors import PartitionerError
+from repro.predicates.predicate import Predicate
 from repro.predicates.space import PredicateEnumerator
 
 
@@ -44,6 +50,10 @@ class NaivePartitioner:
         evaluations.  None = no count limit.
     top_k:
         How many of the best predicates to keep in the ranked output.
+    batch_size:
+        Predicates collected per :meth:`InfluenceScorer.score_batch`
+        call.  Larger chunks amortize more per-predicate overhead but
+        make the time budget coarser-grained.
     """
 
     name = "naive"
@@ -52,18 +62,21 @@ class NaivePartitioner:
                  max_discrete_set_size: int | None = None,
                  time_budget: float | None = 30.0,
                  max_evaluations: int | None = None,
-                 top_k: int = 10):
+                 top_k: int = 10, batch_size: int = 256):
         if time_budget is None and max_evaluations is None:
             raise PartitionerError("NAIVE needs a time or evaluation budget "
                                    "(its full space is exponential)")
         if top_k < 1:
             raise PartitionerError(f"top_k must be >= 1, got {top_k}")
+        if batch_size < 1:
+            raise PartitionerError(f"batch_size must be >= 1, got {batch_size}")
         self.n_bins = n_bins
         self.max_clauses = max_clauses
         self.max_discrete_set_size = max_discrete_set_size
         self.time_budget = time_budget
         self.max_evaluations = max_evaluations
         self.top_k = top_k
+        self.batch_size = batch_size
 
     def run(self, query: ScorpionQuery, scorer: InfluenceScorer | None = None,
             ) -> PartitionerResult:
@@ -80,18 +93,39 @@ class NaivePartitioner:
         start = time.perf_counter()
         n_evaluated = 0
         truncated = False
+        chunk: list[Predicate] = []
+
+        def flush() -> None:
+            nonlocal n_evaluated
+            if not chunk:
+                return
+            influences = scorer.score_batch(chunk)
+            for predicate, influence in zip(chunk, influences):
+                influence = float(influence)
+                n_evaluated += 1
+                tracker.offer(predicate, influence)
+                _keep_top(top, ScoredPredicate(predicate, influence), self.top_k)
+            chunk.clear()
+
         for predicate in enumerator.enumerate():
-            if self.max_evaluations is not None and n_evaluated >= self.max_evaluations:
+            admitted = n_evaluated + len(chunk)
+            if self.max_evaluations is not None and admitted >= self.max_evaluations:
                 truncated = True
                 break
             if (self.time_budget is not None
                     and time.perf_counter() - start > self.time_budget):
                 truncated = True
                 break
-            influence = scorer.score(predicate)
-            n_evaluated += 1
-            tracker.offer(predicate, influence)
-            _keep_top(top, ScoredPredicate(predicate, influence), self.top_k)
+            chunk.append(predicate)
+            if len(chunk) >= self.batch_size:
+                flush()
+        # Predicates admitted before a budget stop are always scored: a
+        # per-predicate loop would have scored them at admission time.
+        # Under a wall-clock budget this overruns the deadline by at most
+        # one batch's scoring — the batched analogue of the scalar loop
+        # finishing its in-flight predicate — and keeps ``n_evaluated``
+        # equal to the admitted count for both budget kinds.
+        flush()
         top.sort(key=lambda sp: sp.influence, reverse=True)
         return PartitionerResult(
             candidates=[],

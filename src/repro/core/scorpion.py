@@ -61,6 +61,9 @@ class ScorpionResult:
     partition_elapsed: float
     merge_elapsed: float
     n_candidates: int
+    #: Scorer operation counters (:meth:`ScorerStats.as_dict`), including
+    #: the batch-scoring counters ``batch_calls`` / ``batch_predicates``
+    #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput``.
     scorer_stats: dict
 
     @property
@@ -143,7 +146,7 @@ class Scorpion:
             partition_elapsed=partition_elapsed,
             merge_elapsed=merge_elapsed,
             n_candidates=n_candidates,
-            scorer_stats=vars(scorer.stats).copy(),
+            scorer_stats=scorer.stats.as_dict(),
         )
 
     # ------------------------------------------------------------------

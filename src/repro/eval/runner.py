@@ -9,7 +9,7 @@ experiments vary.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -36,10 +36,20 @@ class RunRecord:
     runtime: float
     stats: AccuracyStats | None = None
     n_candidates: int = 0
+    #: Scorer operation counters for the run (see
+    #: :meth:`repro.core.influence.ScorerStats.as_dict`), including the
+    #: batch-scoring size/throughput counters.
+    scorer_stats: dict = field(default_factory=dict)
 
     @property
     def f_score(self) -> float:
         return self.stats.f_score if self.stats else 0.0
+
+    @property
+    def batch_throughput(self) -> float:
+        """Predicates/second through the Scorer's batch API (0 if the
+        run never batched)."""
+        return float(self.scorer_stats.get("batch_throughput", 0.0))
 
     @property
     def precision(self) -> float:
@@ -91,6 +101,7 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
         runtime=runtime,
         stats=stats,
         n_candidates=result.n_candidates,
+        scorer_stats=result.scorer_stats,
     )
 
 

@@ -78,3 +78,54 @@ def test_supports():
     ev = evaluator()
     assert ev.supports("x") and ev.supports("s")
     assert not ev.supports("zz")
+
+
+def test_supports_predicate():
+    ev = evaluator()
+    assert ev.supports_predicate(Predicate([RangeClause("x", 0, 1)]))
+    assert not ev.supports_predicate(
+        Predicate([RangeClause("x", 0, 1), RangeClause("zz", 0, 1)]))
+
+
+def test_mixed_type_discrete_column_falls_back():
+    # np.unique cannot sort ints against strings; the first-appearance
+    # fallback must preserve code-table semantics.
+    ev = ArrayMaskEvaluator({"k": np.asarray([1, "a", 1, "b"], dtype=object)})
+    assert ev.clause_mask(SetClause("k", [1])).tolist() == [True, False, True, False]
+    assert ev.clause_mask(SetClause("k", ["a", "b"])).tolist() == [False, True, False, True]
+    assert not ev.clause_mask(SetClause("k", ["zzz"])).any()
+
+
+BATCH = [
+    Predicate.true(),
+    Predicate([RangeClause("x", 1.0, 3.0)]),
+    Predicate([RangeClause("x", 0.0, 3.0, include_hi=False)]),
+    Predicate([SetClause("s", ["a"])]),
+    Predicate([SetClause("s", ["zzz"])]),
+    Predicate([RangeClause("x", 1.0, 4.5), SetClause("s", ["b", "c"])]),
+    Predicate([RangeClause("x", 1.0, 3.0)]),  # duplicate row is fine
+]
+
+
+def test_evaluate_batch_rows_equal_single_masks():
+    ev = evaluator()
+    matrix = ev.evaluate_batch(BATCH)
+    assert matrix.shape == (len(BATCH), ev.n_rows)
+    assert matrix.dtype == bool
+    for row, predicate in zip(matrix, BATCH):
+        np.testing.assert_array_equal(row, ev.mask(predicate))
+
+
+def test_evaluate_batch_empty_list():
+    matrix = evaluator().evaluate_batch([])
+    assert matrix.shape == (0, 4)
+
+
+def test_evaluate_batch_unknown_attribute_rejected():
+    with pytest.raises(PredicateError):
+        evaluator().evaluate_batch([Predicate([RangeClause("nope", 0, 1)])])
+
+
+def test_evaluate_batch_kind_mismatch_rejected():
+    with pytest.raises(PredicateError):
+        evaluator().evaluate_batch([Predicate([SetClause("x", [1.0])])])

@@ -115,14 +115,6 @@ class TestIntersect:
 
 
 class TestOutlierIndex:
-    def test_outlier_only_matches_scorer(self, sum_problem):
-        scorer = InfluenceScorer(sum_problem)
-        index = _OutlierIndex(scorer)
-        mc = MCPartitioner(n_bins=10)
-        for cell in mc._initial_units(sum_problem, scorer)[:20]:
-            expected = scorer.outlier_only_score(cell.predicate)
-            assert index.outlier_only_score(cell) == pytest.approx(expected)
-
     def test_refinement_bound_matches_scorer(self, sum_problem):
         scorer = InfluenceScorer(sum_problem)
         index = _OutlierIndex(scorer)

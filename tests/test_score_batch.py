@@ -1,0 +1,208 @@
+"""Scalar-vs-batch equivalence tests for the batched scoring engine.
+
+The contract (see the :mod:`repro.core.influence` module docstring):
+``score_batch(preds)`` equals ``[score(p) for p in preds]`` *exactly*,
+on both the incrementally-removable and black-box paths, including the
+``-inf`` whole-group-deletion and empty-match edge cases, and the shared
+memo cache keeps the two entry points coherent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import Avg, Median
+from repro.core.influence import INVALID_INFLUENCE, InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+from repro.query.groupby import GroupByQuery
+from repro.table.table import Table
+
+from tests.conftest import SENSOR_ROWS, SENSOR_SCHEMA, planted_sum_table
+
+
+def sensors_problem(aggregate=None, perturbation="delete",
+                    c: float = 1.0) -> ScorpionQuery:
+    table = Table.from_rows(SENSOR_SCHEMA, SENSOR_ROWS)
+    query = GroupByQuery("time", aggregate or Avg(), "temp")
+    return ScorpionQuery(table, query, outliers=["12PM", "1PM"],
+                         holdouts=["11AM"], error_vectors=+1.0, c=c,
+                         perturbation=perturbation)
+
+
+@st.composite
+def sensor_predicates(draw) -> Predicate:
+    """Random conjunctions over the sensors table's ``A_rest``; the empty
+    draw yields TRUE (whole-group deletion) and sensorid 99 never
+    matches, so both edge cases appear naturally."""
+    clauses = []
+    if draw(st.booleans()):
+        lo = draw(st.floats(2.0, 2.8))
+        hi = lo + draw(st.floats(0.01, 0.5))
+        clauses.append(RangeClause("voltage", lo, hi, draw(st.booleans())))
+    if draw(st.booleans()):
+        lo = draw(st.floats(0.0, 0.6))
+        clauses.append(RangeClause("humidity", lo, lo + draw(st.floats(0.0, 0.4))))
+    if draw(st.booleans()):
+        values = draw(st.sets(st.sampled_from([1, 2, 3, 99]), min_size=1))
+        clauses.append(SetClause("sensorid", sorted(values)))
+    return Predicate(clauses)
+
+
+def assert_batch_equals_scalar(scorer: InfluenceScorer,
+                               predicates: list[Predicate],
+                               ignore_holdouts: bool = False) -> np.ndarray:
+    batched = scorer.score_batch(predicates, ignore_holdouts=ignore_holdouts)
+    scalar = np.asarray([scorer.score(p, ignore_holdouts=ignore_holdouts)
+                         for p in predicates])
+    np.testing.assert_array_equal(batched, scalar)
+    return batched
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(predicates=st.lists(sensor_predicates(), max_size=12))
+    def test_incremental_path(self, predicates):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        assert scorer.uses_incremental
+        assert_batch_equals_scalar(scorer, predicates)
+
+    @settings(max_examples=40, deadline=None)
+    @given(predicates=st.lists(sensor_predicates(), max_size=8),
+           c=st.sampled_from([0.0, 0.1, 0.5, 0.7, 1.0]))
+    def test_fractional_c_exponents(self, predicates, c):
+        # Vectorized ``**`` differs from scalar pow in the last ulp on
+        # some inputs; the denominators must go through scalar pow.
+        scorer = InfluenceScorer(sensors_problem(c=c), cache_scores=False)
+        assert_batch_equals_scalar(scorer, predicates)
+
+    @settings(max_examples=20, deadline=None)
+    @given(predicates=st.lists(sensor_predicates(), max_size=8))
+    def test_black_box_path(self, predicates):
+        scorer = InfluenceScorer(sensors_problem(Median()), cache_scores=False)
+        assert not scorer.uses_incremental
+        assert_batch_equals_scalar(scorer, predicates)
+
+    @settings(max_examples=20, deadline=None)
+    @given(predicates=st.lists(sensor_predicates(), max_size=8))
+    def test_ignore_holdouts(self, predicates):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        assert_batch_equals_scalar(scorer, predicates, ignore_holdouts=True)
+
+    @settings(max_examples=20, deadline=None)
+    @given(predicates=st.lists(sensor_predicates(), max_size=8))
+    def test_mean_perturbation(self, predicates):
+        scorer = InfluenceScorer(sensors_problem(perturbation="mean"),
+                                 cache_scores=False)
+        assert_batch_equals_scalar(scorer, predicates)
+
+
+class TestEdgeCases:
+    def test_whole_group_deletion_is_invalid(self):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        batched = assert_batch_equals_scalar(scorer, [Predicate.true()])
+        assert batched[0] == INVALID_INFLUENCE
+
+    def test_empty_match_scores_zero(self):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        nothing = Predicate([SetClause("sensorid", [99])])
+        batched = assert_batch_equals_scalar(scorer, [nothing])
+        assert batched[0] == 0.0
+
+    def test_empty_batch(self):
+        scorer = InfluenceScorer(sensors_problem())
+        assert scorer.score_batch([]).shape == (0,)
+
+    def test_duplicates_share_one_evaluation(self):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        p = Predicate([SetClause("sensorid", [3])])
+        batched = scorer.score_batch([p, p, p])
+        assert batched[0] == batched[1] == batched[2] == scorer.score(p)
+        # Three submissions, one mask evaluation for the trio + one for
+        # the scalar call.
+        assert scorer.stats.mask_scores == 2
+
+    def test_non_rest_attribute_falls_back(self):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        # temp is the aggregate attribute — outside the labeled evaluator.
+        outside = Predicate([RangeClause("temp", 79.0, 120.0)])
+        inside = Predicate([SetClause("sensorid", [3])])
+        assert_batch_equals_scalar(scorer, [outside, inside, outside])
+
+    def test_sum_problem_with_fractional_c(self):
+        problem_table, outliers, holdouts = planted_sum_table()
+        from repro.aggregates import Sum
+        problem = ScorpionQuery(problem_table, GroupByQuery("g", Sum(), "value"),
+                                outliers=outliers, holdouts=holdouts,
+                                error_vectors=+1.0, c=0.5)
+        scorer = InfluenceScorer(problem, cache_scores=False)
+        predicates = [
+            Predicate([RangeClause("a1", 10.0 * i, 10.0 * i + 25.0)])
+            for i in range(8)
+        ] + [
+            Predicate([SetClause("state", [s])]) for s in ("CA", "TX", "ZZ")
+        ] + [Predicate.true()]
+        assert_batch_equals_scalar(scorer, predicates)
+
+    def test_internal_chunking_matches_unchunked(self):
+        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
+        predicates = [Predicate([RangeClause("voltage", 2.0, 2.3 + 0.001 * i)])
+                      for i in range(37)]
+        small = InfluenceScorer(sensors_problem(), cache_scores=False)
+        small.BATCH_CHUNK = 8  # instance override: force multiple passes
+        np.testing.assert_array_equal(small.score_batch(predicates),
+                                      scorer.score_batch(predicates))
+
+
+class TestCacheCoherence:
+    def test_batch_populates_scalar_cache(self):
+        scorer = InfluenceScorer(sensors_problem())
+        p = Predicate([SetClause("sensorid", [3])])
+        batched = scorer.score_batch([p])
+        before = scorer.stats.cache_hits
+        assert scorer.score(p) == batched[0]
+        assert scorer.stats.cache_hits == before + 1
+
+    def test_scalar_populates_batch_cache(self):
+        scorer = InfluenceScorer(sensors_problem())
+        p = Predicate([SetClause("sensorid", [3])])
+        value = scorer.score(p)
+        before = scorer.stats.cache_hits
+        assert scorer.score_batch([p])[0] == value
+        assert scorer.stats.cache_hits == before + 1
+
+    def test_outlier_only_cache_is_separate(self):
+        scorer = InfluenceScorer(sensors_problem())
+        p = Predicate([SetClause("sensorid", [3])])
+        with_holdouts = scorer.score_batch([p])[0]
+        outlier_only = scorer.score_batch([p], ignore_holdouts=True)[0]
+        assert outlier_only != with_holdouts
+        assert scorer.score(p) == with_holdouts
+        assert scorer.outlier_only_score(p) == outlier_only
+
+
+class TestStats:
+    def test_batch_counters(self):
+        scorer = InfluenceScorer(sensors_problem())
+        predicates = [Predicate([SetClause("sensorid", [i])]) for i in (1, 2, 3)]
+        scorer.score_batch(predicates)
+        scorer.score_batch(predicates[:2])
+        stats = scorer.stats
+        assert stats.batch_calls == 2
+        assert stats.batch_predicates == 5
+        assert stats.largest_batch == 3
+        assert stats.batch_seconds > 0.0
+        assert stats.batch_throughput > 0.0
+        assert stats.as_dict()["batch_throughput"] == stats.batch_throughput
+
+    def test_reset_clears_batch_counters(self):
+        scorer = InfluenceScorer(sensors_problem())
+        scorer.score_batch([Predicate([SetClause("sensorid", [1])])])
+        scorer.stats.reset()
+        assert scorer.stats.batch_calls == 0
+        assert scorer.stats.batch_predicates == 0
+        assert scorer.stats.largest_batch == 0
+        assert scorer.stats.batch_seconds == 0.0
+        assert scorer.stats.batch_throughput == 0.0
