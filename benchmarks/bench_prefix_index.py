@@ -1,0 +1,177 @@
+"""Prefix-aggregate index vs mask-matrix scoring (the index tentpole).
+
+Single-clause range predicates are the hot shape of NAIVE's opening
+enumeration, MC's level-1 cells, DT leaf ranges, and Merger expansion
+starts.  This bench scores identical single-range batches three ways —
+scalar ``score()``, the batch mask-matrix kernel (``use_index=False``),
+and the prefix-aggregate index path — across group sizes and on both
+index tiers:
+
+* *gather tier* — float aggregate values (SUM over SYNTH's float
+  column), removed states gathered from the sorted slice in ascending
+  row order;
+* *prefix tier* — integer aggregate values (SUM over an integer copy of
+  SYNTH), removed states as O(1) exact prefix-sum differences.
+
+All three result vectors must match exactly (the equivalence contract;
+always asserted).  The wall-clock expectation — the acceptance bar of
+the index PR — is that at ≥2000 tuples/group the index path beats the
+mask-matrix path outright: the mask kernel touches every labeled row
+per predicate while the index touches two binary searches plus the
+matched rows (or nothing but a prefix subtraction).  Timing assertions
+are skipped when ``SCORPION_BENCH_PERF_ASSERT=0`` (CI smoke runs keep
+only the equality checks).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.aggregates import Sum
+from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.eval import format_table
+from repro.predicates.clause import RangeClause
+from repro.predicates.predicate import Predicate
+from repro.query.groupby import GroupByQuery
+from repro.table.table import Table
+
+from benchmarks.conftest import (
+    SCALE,
+    emit_bench_json,
+    emit_report,
+    run_once,
+    synth_dataset,
+)
+
+BATCH_SIZE = 2048 if SCALE == "paper" else 1024
+GROUP_SIZES = (500, 2000, 5000) if SCALE == "paper" else (500, 2000)
+#: Group sizes where the index path must beat the mask-matrix path
+#: outright (the ISSUE 3 acceptance bar: ≥2000 tuples/group).
+ASSERT_GROUP_SIZES = tuple(g for g in GROUP_SIZES if g >= 2000)
+#: Scalar scoring is O(batch · labeled rows); cap its share of the bench.
+SCALAR_BATCH_CAP = 256
+
+
+def _range_batch(n: int, attribute: str = "a1"):
+    """Single-clause ranges over one attribute with mixed selectivity
+    (narrow cells through near-whole-domain spans)."""
+    rng = np.random.default_rng(11)
+    batch = []
+    for i in range(n):
+        lo = rng.uniform(0.0, 95.0)
+        width = rng.uniform(2.0, 40.0) if i % 4 else rng.uniform(40.0, 100.0)
+        batch.append(Predicate([
+            RangeClause(attribute, lo, lo + width, include_hi=bool(i % 2))]))
+    return batch
+
+
+def _integer_sum_problem(problem: ScorpionQuery) -> ScorpionQuery:
+    """The same SYNTH table with the aggregate column (``av``) rounded
+    to integers and re-aggregated under SUM — integer-summable states,
+    so every group index lands on the O(1) prefix tier."""
+    table = problem.raw_table
+    data = {name: np.asarray(table.values(name)).copy()
+            for name in table.schema.names}
+    data["av"] = np.floor(np.abs(data["av"])) + 1.0
+    rows = list(zip(*(data[name] for name in table.schema.names)))
+    rounded = Table.from_rows(table.schema, rows)
+    return ScorpionQuery(
+        rounded, GroupByQuery("ad", Sum(), "av"),
+        outliers=problem.outlier_keys, holdouts=problem.holdout_keys,
+        error_vectors=+1.0, c=problem.c,
+    )
+
+
+def _time_paths(problem, batch, tier: str):
+    """Score one batch through all three paths; returns the report row,
+    the json row, and the mask/index second pair."""
+    scalar_batch = batch[:SCALAR_BATCH_CAP]
+    scalar_scorer = InfluenceScorer(problem, cache_scores=False,
+                                    use_index=False)
+    started = time.perf_counter()
+    scalar = np.asarray([scalar_scorer.score(p) for p in scalar_batch])
+    scalar_time = time.perf_counter() - started
+
+    mask_scorer = InfluenceScorer(problem, cache_scores=False,
+                                  use_index=False)
+    started = time.perf_counter()
+    via_mask = mask_scorer.score_batch(batch)
+    mask_time = time.perf_counter() - started
+
+    index_scorer = InfluenceScorer(problem, cache_scores=False)
+    index_scorer.prepare_index(["a1"])
+    build_time = index_scorer.stats.index_build_seconds
+    started = time.perf_counter()
+    via_index = index_scorer.score_batch(batch)
+    index_time = time.perf_counter() - started
+
+    # The equivalence contract — asserted even in smoke runs.
+    np.testing.assert_array_equal(via_index, via_mask)
+    np.testing.assert_array_equal(via_index[:len(scalar)], scalar)
+    assert index_scorer.stats.indexed_predicates == len(set(batch))
+
+    group_size = problem.outlier_results[0].group_size
+    speedup = mask_time / index_time if index_time > 0 else float("inf")
+    row = [
+        tier, group_size, len(batch),
+        round(scalar_time * 1e3, 2),
+        round(mask_time * 1e3, 2),
+        round(index_time * 1e3, 2),
+        round(build_time * 1e3, 2),
+        round(speedup, 2),
+    ]
+    json_row = {
+        "tier": tier,
+        "tuples_per_group": group_size,
+        "batch_size": len(batch),
+        "scalar_preds_per_s": round(len(scalar_batch) / scalar_time, 1)
+        if scalar_time > 0 else None,
+        "masked_preds_per_s": round(len(batch) / mask_time, 1)
+        if mask_time > 0 else None,
+        "indexed_preds_per_s": round(len(batch) / index_time, 1)
+        if index_time > 0 else None,
+        "index_build_ms": round(build_time * 1e3, 3),
+        "index_vs_mask_speedup": round(speedup, 3),
+    }
+    return row, json_row, speedup
+
+
+def _experiment():
+    batch = _range_batch(BATCH_SIZE)
+    rows, json_rows = [], []
+    speedups = {}
+    for group_size in GROUP_SIZES:
+        dataset = synth_dataset(2, "easy", tuples_per_group=group_size)
+        float_problem = dataset.scorpion_query(c=0.5)
+        for tier, problem in (("gather/sum", float_problem),
+                              ("prefix/sum", _integer_sum_problem(float_problem))):
+            row, json_row, speedup = _time_paths(problem, batch, tier)
+            rows.append(row)
+            json_rows.append(json_row)
+            speedups[(tier, group_size)] = speedup
+    return rows, json_rows, speedups
+
+
+def test_index_beats_mask_matrix(benchmark):
+    rows, json_rows, speedups = run_once(benchmark, _experiment)
+    emit_report("prefix_index", format_table(
+        "Prefix-aggregate index vs mask-matrix scoring "
+        f"(single-range predicates, batch {BATCH_SIZE}, 10 groups)",
+        ["tier", "tuples/group", "batch", "scalar ms*", "mask ms",
+         "index ms", "build ms", "index speedup"], rows)
+        + f"\n* scalar timed on the first {SCALAR_BATCH_CAP} predicates")
+    emit_bench_json("prefix_index", {
+        "description": "single-clause range predicates: scalar vs "
+                       "mask-matrix vs prefix-aggregate index "
+                       "(predicates/second; equality asserted)",
+        "rows": json_rows,
+    })
+    if os.environ.get("SCORPION_BENCH_PERF_ASSERT", "1") == "0":
+        return
+    for (tier, group_size), speedup in speedups.items():
+        if group_size in ASSERT_GROUP_SIZES:
+            assert speedup > 1.0, (
+                f"index path slower than mask path on {tier} at "
+                f"{group_size} tuples/group (speedup {speedup:.2f})")

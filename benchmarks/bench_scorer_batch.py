@@ -10,6 +10,9 @@ Expected shape: batching pays off most where per-predicate Python
 overhead dominates — small-to-medium groups (the quick-scale regime all
 other benches run in) show 2–4×, while very large groups are bound by
 the same numpy data movement on both paths and converge to parity.
+Index routing is disabled here so the mask-matrix kernel is measured in
+isolation; ``bench_prefix_index.py`` covers the index fast path and the
+combined BENCH_scorer.json ledger holds all three rates.
 """
 
 import os
@@ -22,7 +25,12 @@ from repro.eval import format_table
 from repro.predicates.clause import RangeClause
 from repro.predicates.predicate import Predicate
 
-from benchmarks.conftest import emit_report, run_once, synth_dataset
+from benchmarks.conftest import (
+    emit_bench_json,
+    emit_report,
+    run_once,
+    synth_dataset,
+)
 
 BATCH_SIZES = (64, 512, 2048)
 GROUP_SIZES = (200, 500, 2000)
@@ -50,6 +58,7 @@ def _experiment():
     predicates = _predicate_batch(max(BATCH_SIZES))
     rows = []
     speedups = {}
+    json_rows = []
     for group_size in GROUP_SIZES:
         dataset = synth_dataset(2, "easy", tuples_per_group=group_size)
         problem = dataset.scorpion_query(c=0.5)
@@ -60,7 +69,11 @@ def _experiment():
             scalar = np.asarray([scalar_scorer.score(p) for p in batch])
             scalar_time = time.perf_counter() - started
 
-            batch_scorer = InfluenceScorer(problem, cache_scores=False)
+            # Index routing off: this bench isolates the mask-matrix
+            # kernel against the scalar loop; bench_prefix_index.py
+            # measures the index fast path against both.
+            batch_scorer = InfluenceScorer(problem, cache_scores=False,
+                                           use_index=False)
             started = time.perf_counter()
             batched = batch_scorer.score_batch(batch)
             batch_time = time.perf_counter() - started
@@ -76,15 +89,29 @@ def _experiment():
                 round(batch_scorer.stats.batch_throughput, 0),
                 round(speedup, 2),
             ])
-    return rows, speedups
+            json_rows.append({
+                "tuples_per_group": group_size,
+                "batch_size": batch_size,
+                "scalar_preds_per_s": round(batch_size / scalar_time, 1)
+                if scalar_time > 0 else None,
+                "batch_preds_per_s": round(batch_size / batch_time, 1)
+                if batch_time > 0 else None,
+                "speedup": round(speedup, 3),
+            })
+    return rows, speedups, json_rows
 
 
 def test_batched_scoring_beats_scalar(benchmark):
-    rows, speedups = run_once(benchmark, _experiment)
+    rows, speedups, json_rows = run_once(benchmark, _experiment)
     emit_report("scorer_batch", format_table(
         "Batched vs scalar influence scoring (incremental path), 10 groups",
         ["tuples/group", "batch size", "scalar ms", "batched ms",
          "batched preds/s", "speedup"], rows))
+    emit_bench_json("scorer_batch", {
+        "description": "mixed 1-2 clause predicates, scalar vs batched "
+                       "mask-matrix scoring (predicates/second)",
+        "rows": json_rows,
+    })
     # Identical scores come for free (asserted inside the experiment);
     # where per-predicate overhead dominates, the batched pass must win.
     # Single-shot wall-clock comparisons are meaningless on loaded shared

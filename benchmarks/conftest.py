@@ -13,6 +13,7 @@ budgets.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -21,6 +22,11 @@ import pytest
 from repro.datasets import make_synth
 
 REPORTS_DIR = Path(__file__).parent / "reports"
+
+#: Machine-readable scoring-performance ledger at the repo root; each
+#: scoring bench merges its section so the scalar/batch/indexed rows-per
+#: -second trajectory is tracked across PRs.
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_scorer.json"
 
 #: "quick" (default) or "paper".
 SCALE = os.environ.get("SCORPION_BENCH_SCALE", "quick")
@@ -40,6 +46,23 @@ def emit_report(name: str, text: str) -> None:
     path = REPORTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+
+
+def emit_bench_json(section: str, payload: dict) -> None:
+    """Merge one bench's machine-readable results into
+    ``BENCH_scorer.json`` (read-modify-write so the scoring benches can
+    run in any order or alone).  The scale is recorded per section:
+    sections persist across runs, so a file-level label would mislabel
+    sections written at a different ``SCORPION_BENCH_SCALE``."""
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = dict(payload, scale=SCALE)
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json section {section!r} written to {BENCH_JSON}]")
 
 
 def synth_dataset(n_dims: int, difficulty: str, seed: int = 0,

@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--explore-c", action="store_true",
                         help="sweep c and print the predicate ladder "
                              "instead of solving one instance")
+    parser.add_argument("--no-index", action="store_true",
+                        help="disable the prefix-aggregate index fast "
+                             "path (mask-matrix scoring only)")
+    parser.add_argument("--batch-chunk", type=int, default=None,
+                        help="predicates per vectorized scoring pass "
+                             "(default: SCORPION_BATCH_CHUNK env var or "
+                             "the built-in 1024; results are unaffected)")
     return parser
 
 
@@ -109,7 +116,9 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             c=args.c,
             ignore=_split_keys(args.ignore),
         )
-        scorpion = Scorpion(algorithm=args.algorithm, top_k=args.top_k)
+        scorpion = Scorpion(algorithm=args.algorithm, top_k=args.top_k,
+                            use_index=not args.no_index,
+                            batch_chunk=args.batch_chunk)
         if args.explore_c:
             exploration = CExplorer(scorpion).explore(problem)
             print(exploration.to_string(), file=out)

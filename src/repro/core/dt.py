@@ -27,7 +27,9 @@ group as chunked mask matrices (:meth:`ArrayMaskEvaluator.evaluate_batch`)
 and their removal statistics and sampled-influence scores come from two
 ``einsum`` contractions per chunk.  Exact influence scoring of the
 candidates happens downstream — the Merger batch-scores its expansion
-starts through :meth:`InfluenceScorer.score_batch`.
+starts through :meth:`InfluenceScorer.score_batch`; single-clause leaf
+ranges are declared to the Scorer's prefix-aggregate index first so
+that scoring takes the O(log n) fast path.
 """
 
 from __future__ import annotations
@@ -162,6 +164,15 @@ class DTPartitioner:
 
         candidates = self._build_candidates(predicates, outlier_groups)
         candidates.sort(key=lambda c: c.score, reverse=True)
+        # Leaf predicates that collapsed to one range clause are the
+        # index fast path's shape; declare their attributes now so the
+        # Merger's downstream exact scoring hits a warm index.
+        scorer.prepare_index({
+            candidate.predicate.clauses[0].attribute
+            for candidate in candidates
+            if candidate.predicate.num_clauses == 1
+            and isinstance(candidate.predicate.clauses[0], RangeClause)
+        })
         return PartitionerResult(
             candidates=candidates,
             elapsed=time.perf_counter() - start,
@@ -553,7 +564,7 @@ class DTPartitioner:
         n_preds = len(predicates)
         # Chunk the predicate axis so the transient mask matrix and its
         # float copy stay bounded regardless of leaf count × group size.
-        chunk_size = InfluenceScorer.BATCH_CHUNK
+        chunk_size = self._scorer.batch_chunk
         influence_sums = np.zeros(n_preds, dtype=np.float64)
         influence_counts = np.zeros(n_preds, dtype=np.int64)
         counts_by_group: list[np.ndarray] = []

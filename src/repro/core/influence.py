@@ -48,10 +48,31 @@ scalar path's contiguous sum; of the built-ins only COUNT has
 ``state_size == 1`` and its integer states make any summation order
 exact.)  The memo cache is shared, so mixing ``score`` and
 ``score_batch`` calls never recomputes and never disagrees.
+
+The index fast path
+-------------------
+
+``score_batch`` consults an :class:`~repro.index.IndexPlanner` before
+building mask matrices: single-clause range predicates over continuous
+labeled attributes (the hot shape NAIVE's 1-clause enumeration, DT leaf
+ranges, MC's per-attribute cells, and Merger expansion starts produce)
+are answered by a lazily built
+:class:`~repro.index.PrefixAggregateIndex` — two binary searches per
+group instead of an O(n) mask row, with per-group removed states coming
+from exact prefix-sum differences (O(1), when the group's states are
+integer-summable) or an ascending-row-order gather of just the matched
+rows (O(log n + k)).  Both tiers reproduce the scalar masked sum bit for
+bit (see :mod:`repro.index.prefix`), so the equivalence contract is
+unchanged; the planner's routing counters (``indexed_predicates`` /
+``masked_predicates`` / ``index_builds`` / ``index_build_seconds``)
+surface through :class:`ScorerStats`.  Everything else — conjunctions,
+discrete clauses, black-box aggregates, non-labeled attributes — takes
+the mask-matrix kernel exactly as before.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -60,7 +81,9 @@ import numpy as np
 
 from repro.aggregates.base import AggregateFunction
 from repro.core.problem import ScorpionQuery
-from repro.errors import AggregateError
+from repro.errors import AggregateError, PredicateError
+from repro.index import IndexPlanner, PrefixAggregateIndex
+from repro.predicates.clause import RangeClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
 
@@ -144,6 +167,15 @@ class ScorerStats:
     largest_batch: int = 0
     #: Wall-clock seconds spent inside ``score_batch``.
     batch_seconds: float = 0.0
+    #: Batch predicates the planner routed through the prefix-aggregate
+    #: index (unique predicates, cache hits excluded).
+    indexed_predicates: int = 0
+    #: Batch predicates that took the mask-matrix kernel instead.
+    masked_predicates: int = 0
+    #: Attribute indexes built so far (one sorted view per attribute).
+    index_builds: int = 0
+    #: Wall-clock seconds spent sorting / prefix-summing index builds.
+    index_build_seconds: float = 0.0
 
     @property
     def batch_throughput(self) -> float:
@@ -168,6 +200,10 @@ class ScorerStats:
         self.batch_predicates = 0
         self.largest_batch = 0
         self.batch_seconds = 0.0
+        self.indexed_predicates = 0
+        self.masked_predicates = 0
+        self.index_builds = 0
+        self.index_build_seconds = 0.0
 
 
 class InfluenceScorer:
@@ -184,10 +220,22 @@ class InfluenceScorer:
     cache_scores:
         Memoize predicate → influence (predicates are hashable and the
         Merger re-scores candidates freely).
+    use_index:
+        Route single-clause range predicates in ``score_batch`` through
+        the prefix-aggregate index (on by default; only effective on the
+        incrementally-removable path).  Benchmarks and the equivalence
+        tests toggle it off to exercise the mask-matrix kernel.
+    batch_chunk:
+        Row cap per vectorized ``score_batch`` pass.  Defaults to the
+        ``SCORPION_BATCH_CHUNK`` environment variable, else the class
+        default :attr:`BATCH_CHUNK`; chunking never affects results
+        (both kernels are row-deterministic), so benchmarks can sweep it
+        freely.
     """
 
     def __init__(self, query: ScorpionQuery, use_incremental: bool = True,
-                 cache_scores: bool = True):
+                 cache_scores: bool = True, use_index: bool = True,
+                 batch_chunk: int | None = None):
         self.query = query
         self.aggregate: AggregateFunction = query.aggregate
         self.lam = query.lam
@@ -199,6 +247,14 @@ class InfluenceScorer:
         self._incremental = bool(
             use_incremental and self.aggregate.is_incrementally_removable
         )
+        if batch_chunk is None:
+            env_chunk = os.environ.get("SCORPION_BATCH_CHUNK", "").strip()
+            if env_chunk:
+                batch_chunk = int(env_chunk)
+        self.batch_chunk = int(batch_chunk) if batch_chunk is not None else self.BATCH_CHUNK
+        if self.batch_chunk < 1:
+            raise PredicateError(
+                f"batch_chunk must be >= 1, got {self.batch_chunk}")
         self._score_cache: dict[Predicate, float] | None = {} if cache_scores else None
         self._outlier_score_cache: dict[Predicate, float] | None = (
             {} if cache_scores else None
@@ -240,6 +296,19 @@ class InfluenceScorer:
             np.vstack([ctx.tuple_states for ctx in self.contexts])
             if self._incremental and offset else None
         )
+        # Prefix-aggregate index over the labeled rows (cheap shell; the
+        # per-attribute sorted views build lazily on first routed use or
+        # via prepare_index).  Requires the incremental path: black-box
+        # aggregates need mask rows to recompute from raw values.
+        self._index: PrefixAggregateIndex | None = None
+        if use_index and self._incremental and offset:
+            self._index = PrefixAggregateIndex(
+                {attr: self._labeled_evaluator.continuous_values(attr)
+                 for attr in self._labeled_evaluator.continuous_attributes},
+                [(start, stop) for _, start, stop in self._labeled_slices],
+                [ctx.tuple_states for ctx in self.contexts],
+            )
+        self._planner = IndexPlanner(self._index)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -410,9 +479,11 @@ class InfluenceScorer:
     # ------------------------------------------------------------------
     # Batched scoring (see module docstring for the equivalence contract)
     # ------------------------------------------------------------------
-    #: Internal row cap per vectorized pass; bounds the transient mask
+    #: Default row cap per vectorized pass; bounds the transient mask
     #: matrix and float temporaries without affecting results (the kernel
-    #: is row-deterministic, so chunking is invisible).
+    #: is row-deterministic, so chunking is invisible).  The effective
+    #: per-instance value is :attr:`batch_chunk` (constructor argument or
+    #: the ``SCORPION_BATCH_CHUNK`` environment variable).
     BATCH_CHUNK = 1024
 
     @property
@@ -421,6 +492,46 @@ class InfluenceScorer:
         use this to decide if pre-warming the cache in bulk pays off)."""
         return self._score_cache is not None
 
+    @property
+    def uses_index(self) -> bool:
+        """Whether the prefix-aggregate index fast path is available."""
+        return self._index is not None
+
+    @property
+    def planner(self) -> IndexPlanner:
+        """The routing planner (exposed for tests and diagnostics)."""
+        return self._planner
+
+    def prepare_index(self, attributes: Iterable[str] | None = None,
+                      ) -> tuple[str, ...]:
+        """Pre-build the prefix-aggregate index for ``attributes``.
+
+        Hot single-clause producers (NAIVE's 1-clause enumeration, MC's
+        per-attribute cells, DT leaf ranges feeding the Merger) call
+        this to declare the attributes they are about to flood
+        ``score_batch`` with, so index build time lands up front instead
+        of inside the first scoring chunk.  ``None`` builds every
+        indexable continuous attribute.  Returns the attributes actually
+        indexed (empty when the fast path is unavailable) — purely an
+        optimization either way, since routed queries build lazily.
+        """
+        if self._index is None:
+            return ()
+        if attributes is None:
+            attributes = self._labeled_evaluator.continuous_attributes
+        built = []
+        for attribute in attributes:
+            if self._index.supports(attribute):
+                self._index.ensure(attribute)
+                built.append(attribute)
+        self._sync_index_stats()
+        return tuple(built)
+
+    def _sync_index_stats(self) -> None:
+        assert self._index is not None
+        self.stats.index_builds = self._index.build_count
+        self.stats.index_build_seconds = self._index.build_seconds
+
     def score_batch(self, predicates: Sequence[Predicate] | Iterable[Predicate],
                     ignore_holdouts: bool = False) -> np.ndarray:
         """``inf(O, H, p, V)`` for every predicate, as one vectorized pass.
@@ -428,6 +539,9 @@ class InfluenceScorer:
         Returns a float array aligned with ``predicates`` whose entries
         equal ``[self.score(p, ignore_holdouts) for p in predicates]``
         exactly; results populate the same memo cache ``score`` reads.
+        The planner routes index-eligible predicates (single continuous
+        range clause on the incremental path) through the
+        prefix-aggregate index; the rest take the mask-matrix kernel.
         Predicates over attributes outside the labeled evaluator (or any
         predicate when the aggregate is black-box at the Δ level) are
         scored through the scalar machinery within the same call.
@@ -454,9 +568,9 @@ class InfluenceScorer:
             else:
                 pending[predicate] = [i]
 
-        todo = list(pending)
-        for lo in range(0, len(todo), self.BATCH_CHUNK):
-            chunk = todo[lo:lo + self.BATCH_CHUNK]
+        route = self._planner.partition(pending)
+        for lo in range(0, len(route.masked), self.batch_chunk):
+            chunk = route.masked[lo:lo + self.batch_chunk]
             matrix = self._labeled_evaluator.evaluate_batch(chunk)
             if ignore_holdouts and self.holdout_contexts:
                 # Hold-out contexts are skipped entirely downstream;
@@ -464,8 +578,20 @@ class InfluenceScorer:
                 # kernel from scanning and bucketing their set bits.
                 matrix = matrix[:, :self._outlier_cols]
             self.stats.mask_scores += len(chunk)
+            self.stats.masked_predicates += len(chunk)
             values = self._score_mask_matrix(matrix, ignore_holdouts)
             for predicate, value in zip(chunk, values):
+                value = float(value)
+                if cache is not None:
+                    cache[predicate] = value
+                for i in pending[predicate]:
+                    out[i] = value
+
+        for lo in range(0, len(route.indexed), self.batch_chunk):
+            chunk = route.indexed[lo:lo + self.batch_chunk]
+            self.stats.indexed_predicates += len(chunk)
+            values = self._score_index_chunk(chunk, ignore_holdouts)
+            for (predicate, _), value in zip(chunk, values):
                 value = float(value)
                 if cache is not None:
                     cache[predicate] = value
@@ -518,7 +644,62 @@ class InfluenceScorer:
                 removed[:, j] = np.bincount(
                     keys, weights=gathered[:, j], minlength=m * n_ctx)
             removed = removed.reshape(m, n_ctx, -1)
+        return self._combine_group_influences(counts, removed, matrix,
+                                              ignore_holdouts)
 
+    def _score_index_chunk(self, items: list[tuple[Predicate, RangeClause]],
+                           ignore_holdouts: bool) -> np.ndarray:
+        """The metric for a chunk of single-range predicates through the
+        prefix-aggregate index — no mask matrix is materialized.
+
+        Per constrained attribute, every predicate's per-group matched
+        count and summed removed state come from two binary searches
+        plus a prefix-sum difference (or an ascending-row gather of the
+        matched slice; see :mod:`repro.index.prefix`), feeding the same
+        influence arithmetic as the mask kernel.
+        """
+        assert self._index is not None and self._incremental
+        m = len(items)
+        n_ctx = len(self._labeled_slices)
+        active = self._count_active_contexts(ignore_holdouts)
+        counts = np.zeros((m, n_ctx), dtype=np.int64)
+        removed = np.zeros((m, n_ctx, self._index.state_size),
+                           dtype=np.float64)
+        by_attr: dict[str, list[int]] = {}
+        for j, (_, clause) in enumerate(items):
+            by_attr.setdefault(clause.attribute, []).append(j)
+        for attribute, positions in by_attr.items():
+            clauses = [items[j][1] for j in positions]
+            attr_counts, attr_removed = self._index.range_group_stats(
+                attribute,
+                np.asarray([clause.lo for clause in clauses], dtype=np.float64),
+                np.asarray([clause.hi for clause in clauses], dtype=np.float64),
+                np.asarray([clause.include_hi for clause in clauses], dtype=bool),
+                active_groups=active,
+            )
+            counts[positions] = attr_counts
+            removed[positions] = attr_removed
+        self._sync_index_stats()
+        return self._combine_group_influences(counts, removed, None,
+                                              ignore_holdouts)
+
+    def _count_active_contexts(self, ignore_holdouts: bool) -> int:
+        """How many leading contexts scoring will actually read (outlier
+        contexts come first in the labeled concatenation)."""
+        if ignore_holdouts:
+            return len(self.outlier_contexts)
+        return len(self._labeled_slices)
+
+    def _combine_group_influences(self, counts: np.ndarray,
+                                  removed: np.ndarray | None,
+                                  matrix: np.ndarray | None,
+                                  ignore_holdouts: bool) -> np.ndarray:
+        """Fold per-(predicate, context) matched counts and removed
+        states into final metric values — the shared back half of the
+        mask-matrix and index kernels.  ``matrix`` supplies per-context
+        mask slices for black-box Δ recomputes (mask kernel only; the
+        index path is incremental by construction)."""
+        m = len(counts)
         outlier_total = np.zeros(m, dtype=np.float64)
         worst = np.zeros(m, dtype=np.float64)
         invalid = np.zeros(m, dtype=bool)
@@ -528,7 +709,7 @@ class InfluenceScorer:
             influences = self._group_influence_batch(
                 context, counts[:, ci],
                 removed[:, ci, :] if removed is not None else None,
-                matrix[:, start:stop])
+                matrix[:, start:stop] if matrix is not None else None)
             invalid |= influences == INVALID_INFLUENCE
             if context.is_outlier:
                 outlier_total = outlier_total + influences
@@ -542,11 +723,13 @@ class InfluenceScorer:
 
     def _group_influence_batch(self, context: GroupContext, counts: np.ndarray,
                                removed_states: np.ndarray | None,
-                               local_matrix: np.ndarray) -> np.ndarray:
+                               local_matrix: np.ndarray | None) -> np.ndarray:
         """Per-predicate influence on one group given the group's matched
         counts and (on the incremental path) summed removed states.
         Mirrors :meth:`group_influence` row-wise; black-box aggregates
-        recompute per predicate from the group's mask-matrix slice."""
+        recompute per predicate from the group's mask-matrix slice
+        (``local_matrix`` is None on the mask-free index path, which the
+        planner restricts to incremental aggregates)."""
         influences = np.zeros(len(counts), dtype=np.float64)
         matched = np.flatnonzero(counts)
         if not len(matched):
@@ -559,6 +742,7 @@ class InfluenceScorer:
                 context, removed_states[matched], counts_f)
             deltas = context.total_value - updated
         else:
+            assert local_matrix is not None
             deltas = np.empty(len(matched), dtype=np.float64)
             for j, i in enumerate(matched):
                 deltas[j] = self.delta(context, local_matrix[i])

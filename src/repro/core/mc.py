@@ -20,7 +20,10 @@ pruning bounds, exactly like transaction lists in Apriori-style subspace
 clustering.  The per-level candidate ranking — ``inf(O, ∅, p, V)`` for
 every surviving cell — goes through one
 :meth:`InfluenceScorer.score_batch` call per round rather than a Scorer
-round-trip per cell.
+round-trip per cell; the level-1 continuous cells are single range
+clauses, so MC declares its continuous attributes via
+:meth:`InfluenceScorer.prepare_index` and that first (largest) round
+rides the prefix-aggregate index instead of mask matrices.
 """
 
 from __future__ import annotations
@@ -137,6 +140,10 @@ class MCPartitioner:
         start = time.perf_counter()
         scorer = scorer or InfluenceScorer(query)
         self._validate(query, scorer)
+        # Level-1 continuous units are single-clause grid cells — the
+        # index fast path's shape — so build those indexes up front.
+        scorer.prepare_index(
+            spec.name for spec in query.domain if spec.is_continuous)
         merger = Merger(scorer, query.domain, params=self.merger_params)
         index = _OutlierIndex(scorer)
 
@@ -178,7 +185,7 @@ class MCPartitioner:
             candidates=[],
             ranked=ranked_list,
             elapsed=time.perf_counter() - start,
-            n_evaluated=scorer.stats.mask_scores,
+            n_evaluated=scorer.stats.mask_scores + scorer.stats.indexed_predicates,
         )
 
     # ------------------------------------------------------------------

@@ -206,6 +206,16 @@ class Merger:
             expansion_starts = [c.predicate for c in ranked[:n_expand]]
         else:
             expansion_starts = list(seeds)
+        if expansion_starts:
+            # Declare the single-range starts to the prefix-aggregate
+            # index: they (and the merges they grow through) are the
+            # index fast path's shape.
+            self.scorer.prepare_index({
+                predicate.clauses[0].attribute
+                for predicate in expansion_starts
+                if predicate.num_clauses == 1
+                and isinstance(predicate.clauses[0], RangeClause)
+            })
         if expansion_starts and self.scorer.caches_scores:
             # Exact-score every start in one vectorized pass; the scalar
             # calls below (record / adoption verification) hit the cache.

@@ -16,6 +16,11 @@ Enumerated predicates are collected into fixed-size chunks and scored
 through :meth:`InfluenceScorer.score_batch` — one vectorized pass per
 chunk instead of a Scorer round-trip per predicate — while the budget
 checks still run per predicate, so truncation points are unchanged.
+The enumeration's opening wave is exactly the index fast path's shape
+(every 1-clause range over every continuous attribute), so the search
+declares those attributes up front via
+:meth:`InfluenceScorer.prepare_index` and the batches bypass mask
+matrices entirely.
 """
 
 from __future__ import annotations
@@ -82,6 +87,11 @@ class NaivePartitioner:
             ) -> PartitionerResult:
         """Search the predicate space and return the ranked best found."""
         scorer = scorer or InfluenceScorer(query)
+        # Declare the single-clause range producers: every continuous
+        # attribute's grid cells (and their unions) arrive as 1-clause
+        # predicates, the index fast path's exact shape.
+        scorer.prepare_index(
+            spec.name for spec in query.domain if spec.is_continuous)
         enumerator = PredicateEnumerator(
             query.domain,
             n_bins=self.n_bins,

@@ -63,7 +63,9 @@ class ScorpionResult:
     n_candidates: int
     #: Scorer operation counters (:meth:`ScorerStats.as_dict`), including
     #: the batch-scoring counters ``batch_calls`` / ``batch_predicates``
-    #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput``.
+    #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput`` and
+    #: the index-routing counters ``indexed_predicates`` /
+    #: ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``.
     scorer_stats: dict
 
     @property
@@ -96,13 +98,22 @@ class Scorpion:
         extension and is off by default.
     relevance_threshold:
         Minimum relevance an attribute must reach to be kept.
+    use_index:
+        Let the Scorer route single-clause range predicates through the
+        prefix-aggregate index (on by default; see
+        :mod:`repro.index`).
+    batch_chunk:
+        Override for the Scorer's per-pass predicate chunk size (None =
+        the ``SCORPION_BATCH_CHUNK`` environment variable, else the
+        built-in default); benchmarks sweep it.
     """
 
     def __init__(self, algorithm: str = "auto", partitioner=None,
                  merger_params: MergerParams | None = None,
                  use_cache: bool = True, top_k: int = 5,
                  auto_select_attributes: bool = False,
-                 relevance_threshold: float = 0.05):
+                 relevance_threshold: float = 0.05,
+                 use_index: bool = True, batch_chunk: int | None = None):
         if algorithm not in ("auto", "dt", "mc", "naive"):
             raise PartitionerError(f"unknown algorithm {algorithm!r}")
         if top_k < 1:
@@ -114,6 +125,8 @@ class Scorpion:
         self.top_k = top_k
         self.auto_select_attributes = auto_select_attributes
         self.relevance_threshold = relevance_threshold
+        self.use_index = use_index
+        self.batch_chunk = batch_chunk
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
@@ -122,7 +135,8 @@ class Scorpion:
         start = time.perf_counter()
         if self.auto_select_attributes:
             query = self._narrow_attributes(query)
-        scorer = InfluenceScorer(query)
+        scorer = InfluenceScorer(query, use_index=self.use_index,
+                                 batch_chunk=self.batch_chunk)
         partitioner = self.partitioner or self._pick_partitioner(query, scorer)
 
         merge_elapsed = 0.0

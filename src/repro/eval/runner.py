@@ -38,7 +38,9 @@ class RunRecord:
     n_candidates: int = 0
     #: Scorer operation counters for the run (see
     #: :meth:`repro.core.influence.ScorerStats.as_dict`), including the
-    #: batch-scoring size/throughput counters.
+    #: batch-scoring size/throughput counters and the index-routing
+    #: counters (``indexed_predicates`` / ``masked_predicates`` /
+    #: ``index_builds`` / ``index_build_seconds``).
     scorer_stats: dict = field(default_factory=dict)
 
     @property
@@ -50,6 +52,18 @@ class RunRecord:
         """Predicates/second through the Scorer's batch API (0 if the
         run never batched)."""
         return float(self.scorer_stats.get("batch_throughput", 0.0))
+
+    @property
+    def indexed_predicates(self) -> int:
+        """Predicates the planner routed through the prefix-aggregate
+        index during the run."""
+        return int(self.scorer_stats.get("indexed_predicates", 0))
+
+    @property
+    def masked_predicates(self) -> int:
+        """Predicates scored through the mask-matrix kernel during the
+        run's batched calls."""
+        return int(self.scorer_stats.get("masked_predicates", 0))
 
     @property
     def precision(self) -> float:

@@ -1,0 +1,27 @@
+"""Prefix-aggregate index subsystem: O(log n) influence scoring for
+single-clause range predicates.
+
+:class:`PrefixAggregateIndex` sorts each labeled group's rows once per
+attribute and precomputes prefix-summed aggregate state along that
+order; :class:`IndexPlanner` routes each predicate of a batch to the
+index fast path or the mask-matrix kernel.  See the module docstrings
+of :mod:`repro.index.prefix` and :mod:`repro.index.planner` for the
+exact-equality argument and the routing rules.
+"""
+
+from repro.index.planner import IndexPlanner, IndexRoute
+from repro.index.prefix import (
+    EXACT_SUM_BUDGET,
+    GroupAttributeIndex,
+    PrefixAggregateIndex,
+    exactly_summable,
+)
+
+__all__ = [
+    "EXACT_SUM_BUDGET",
+    "GroupAttributeIndex",
+    "IndexPlanner",
+    "IndexRoute",
+    "PrefixAggregateIndex",
+    "exactly_summable",
+]

@@ -1,0 +1,76 @@
+"""Routing predicates between the index fast path and the mask kernel.
+
+The :class:`IndexPlanner` decides, per predicate of a ``score_batch``
+call, whether the prefix-aggregate index can answer it:
+
+* exactly one clause (conjunctions need cross-attribute mask
+  intersection, which is the mask kernel's job);
+* that clause is a :class:`~repro.predicates.clause.RangeClause`
+  (discrete set clauses have no sorted-order contiguity);
+* the attribute is a continuous column of the labeled rows (anything
+  else — including user predicates over non-``A_rest`` attributes —
+  keeps its existing fallback);
+* the scorer is on the incrementally-removable path (black-box
+  aggregates must recompute from raw matched values, so they need the
+  mask rows regardless).
+
+Everything the planner rejects flows to
+:meth:`~repro.predicates.evaluator.ArrayMaskEvaluator.evaluate_batch`
+unchanged, so routing is purely an execution-strategy choice — results
+are identical on either path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.index.prefix import PrefixAggregateIndex
+from repro.predicates.clause import RangeClause
+from repro.predicates.predicate import Predicate
+
+
+@dataclass
+class IndexRoute:
+    """One chunk-sized routing decision: which predicates take the index
+    fast path (with their single range clause pre-extracted) and which
+    fall back to the mask-matrix kernel."""
+
+    indexed: list[tuple[Predicate, RangeClause]]
+    masked: list[Predicate]
+
+
+class IndexPlanner:
+    """Chooses the scoring path for each predicate of a batch."""
+
+    def __init__(self, index: PrefixAggregateIndex | None):
+        self.index = index
+
+    @property
+    def enabled(self) -> bool:
+        return self.index is not None
+
+    def fast_clause(self, predicate: Predicate) -> RangeClause | None:
+        """The predicate's index-answerable clause, or None when it must
+        go through the mask kernel."""
+        if self.index is None or predicate.num_clauses != 1:
+            return None
+        clause = predicate.clauses[0]
+        if not isinstance(clause, RangeClause):
+            return None
+        if not self.index.supports(clause.attribute):
+            return None
+        return clause
+
+    def partition(self, predicates: Sequence[Predicate] | Iterable[Predicate],
+                  ) -> IndexRoute:
+        """Split a batch into index-path and mask-path predicates,
+        preserving relative order within each path."""
+        route = IndexRoute(indexed=[], masked=[])
+        for predicate in predicates:
+            clause = self.fast_clause(predicate)
+            if clause is None:
+                route.masked.append(predicate)
+            else:
+                route.indexed.append((predicate, clause))
+        return route

@@ -1,0 +1,269 @@
+"""Prefix-aggregate indexes: sorted per-attribute views of each labeled
+group with precomputed aggregate state, so a single-clause range
+predicate ``lo ≤ attr < hi`` is answered with two binary searches
+instead of an O(n) mask row.
+
+For every (group, attribute) pair the index sorts the group's rows by
+the attribute's value once.  A range predicate then matches exactly one
+contiguous slice ``[a, b)`` of that order (``np.searchsorted`` with the
+clause's bound semantics), which yields the matched count as ``b − a``
+and the summed removed state through one of two tiers:
+
+**Prefix tier (O(1) per predicate).**  When every state column of the
+group is *exactly summable* — integer-valued floats whose absolute sum
+stays below 2**52 — every partial sum of every subset is an exact
+integer below 2**53, hence exactly representable and independent of
+summation order.  The per-state prefix sums along the sorted order are
+then exact, and ``prefix[b] − prefix[a]`` reproduces the scalar path's
+masked in-order sum bit for bit.  COUNT states always qualify; SUM/AVG
+and the STDDEV/VARIANCE ``[sum, sum²]`` states qualify whenever the
+aggregate column holds bounded integers (sensor ids, counts, cents).
+
+**Gather tier (O(log n + k) per predicate).**  For general float data a
+prefix difference is *not* bitwise equal to a direct sum (float addition
+is not associative), so the slice's row positions ``order[a:b]`` are
+gathered, re-sorted into ascending row order, and scatter-added with the
+same in-input-order ``np.bincount`` kernel the batched mask path uses.
+That reproduces the scalar path's masked sum exactly — same rows, same
+ascending-row accumulation order, same elementwise adds — while still
+skipping the O(n) mask row and its full-row scan; only the ``k`` matched
+rows are touched.
+
+Both tiers share the binary-search slice and therefore the matched *row
+set* is identical to the comparison mask (``searchsorted`` side
+selection mirrors the clause's ``>= lo`` / ``< hi`` / ``<= hi``
+semantics, and NaN attribute values sort to the tail where no finite
+bound reaches them).  See :mod:`repro.index.planner` for how predicates
+are routed here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PredicateError
+
+#: Per-column absolute-sum budget under which integer-valued state
+#: columns sum exactly: every subset sum is an integer of magnitude
+#: below 2**52 < 2**53, so each partial sum — in any order — is exactly
+#: representable and prefix differences equal direct masked sums.
+EXACT_SUM_BUDGET = float(2 ** 52)
+
+
+def exactly_summable(columns: np.ndarray) -> bool:
+    """Whether every column of the ``(n, k)`` state matrix sums exactly
+    in any order (see :data:`EXACT_SUM_BUDGET`).  Empty matrices qualify
+    trivially; anything non-finite (NaN/inf states) does not."""
+    if columns.size == 0:
+        return True
+    if not np.isfinite(columns).all():
+        return False
+    if not (columns == np.floor(columns)).all():
+        return False
+    return bool(np.abs(columns).sum(axis=0).max() < EXACT_SUM_BUDGET)
+
+
+class GroupAttributeIndex:
+    """One group's rows sorted along one attribute.
+
+    ``order`` maps sorted positions to the group's local row positions;
+    ``prefix`` holds the (n+1, k) exact prefix states when the group is
+    on the prefix tier, else None (gather tier).
+    """
+
+    __slots__ = ("order", "sorted_values", "prefix")
+
+    def __init__(self, values: np.ndarray, tuple_states: np.ndarray | None,
+                 exact: bool):
+        order = np.argsort(values, kind="stable").astype(np.int64, copy=False)
+        self.order = order
+        self.sorted_values = values[order]
+        self.prefix: np.ndarray | None = None
+        if exact and tuple_states is not None:
+            prefix = np.zeros((len(values) + 1, tuple_states.shape[1]),
+                              dtype=np.float64)
+            np.cumsum(tuple_states[order], axis=0, out=prefix[1:])
+            self.prefix = prefix
+
+    @property
+    def uses_prefix(self) -> bool:
+        return self.prefix is not None
+
+    def slice_bounds(self, los: np.ndarray, his: np.ndarray,
+                     closed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted-position bounds ``[a, b)`` of each range.
+
+        Mirrors :meth:`RangeClause.mask_values` exactly: ``a`` is the
+        first position with ``value >= lo``; ``b`` is one past the last
+        position with ``value <= hi`` (closed) or ``value < hi`` (open).
+        NaN values sort past every finite bound and are never included.
+        """
+        a = np.searchsorted(self.sorted_values, los, side="left")
+        b = np.where(
+            closed,
+            np.searchsorted(self.sorted_values, his, side="right"),
+            np.searchsorted(self.sorted_values, his, side="left"),
+        )
+        return a, b
+
+    def removed_states(self, a: np.ndarray, b: np.ndarray,
+                       tuple_states: np.ndarray) -> np.ndarray:
+        """Summed removed state per slice, bit-for-bit equal to the
+        scalar path's ``tuple_states[mask].sum(axis=0)``.
+
+        Prefix tier: one O(1) subtraction per slice (exact by the
+        integer-summability argument above).  Gather tier: the slices'
+        row positions are concatenated, re-sorted to ascending row order
+        within each slice, and accumulated with the same in-input-order
+        ``bincount`` scatter-add as the batched mask kernel.
+        """
+        if self.prefix is not None:
+            return self.prefix[b] - self.prefix[a]
+        m = len(a)
+        k = tuple_states.shape[1]
+        out = np.zeros((m, k), dtype=np.float64)
+        lengths = b - a
+        total = int(lengths.sum())
+        if total == 0:
+            return out
+        n = len(self.order)
+        slice_ids = np.repeat(np.arange(m, dtype=np.int64), lengths)
+        exclusive = np.cumsum(lengths) - lengths
+        positions = (np.arange(total, dtype=np.int64)
+                     + np.repeat(a - exclusive, lengths))
+        rows = self.order[positions]
+        # ``np.nonzero`` hands the mask kernel its set bits in ascending
+        # row order; re-sorting each slice by row position reproduces
+        # that exact accumulation order.  A single composite-key sort
+        # (slice-major, row-minor) beats a two-key lexsort; the int64
+        # key never overflows for any realistic (batch, group) shape,
+        # and the lexsort fallback covers the rest.
+        if m <= (2 ** 62) // max(n, 1):
+            composite = np.sort(slice_ids * n + rows)
+            slice_ids = composite // n
+            rows = composite - slice_ids * n
+        else:  # pragma: no cover - astronomically large batches only
+            sorter = np.lexsort((rows, slice_ids))
+            slice_ids = slice_ids[sorter]
+            rows = rows[sorter]
+        gathered = tuple_states[rows]
+        for j in range(k):
+            out[:, j] = np.bincount(slice_ids, weights=gathered[:, j],
+                                    minlength=m)
+        return out
+
+
+class PrefixAggregateIndex:
+    """Lazily built per-(group, attribute) sorted indexes over the
+    labeled rows of one scorer/evaluator.
+
+    Parameters
+    ----------
+    values_by_attr:
+        Continuous attribute name → values over the *labeled* rows (all
+        groups concatenated, outliers first) — the same arrays the
+        labeled :class:`~repro.predicates.evaluator.ArrayMaskEvaluator`
+        compares against, so slice membership equals mask membership.
+    group_slices:
+        ``(start, stop)`` column spans of each group inside the labeled
+        concatenation, in context order.
+    group_states:
+        Each group's ``(size, state_size)`` per-tuple aggregate states
+        (the incremental-removal cache); the removed-state queries
+        require them for every group.
+    """
+
+    def __init__(self, values_by_attr: Mapping[str, np.ndarray],
+                 group_slices: Sequence[tuple[int, int]],
+                 group_states: Sequence[np.ndarray]):
+        if len(group_slices) != len(group_states):
+            raise PredicateError(
+                f"{len(group_slices)} group slices vs {len(group_states)} "
+                "state matrices")
+        self._values = dict(values_by_attr)
+        self._slices = [(int(start), int(stop)) for start, stop in group_slices]
+        self._states = list(group_states)
+        for (start, stop), states in zip(self._slices, self._states):
+            if states is None or len(states) != stop - start:
+                raise PredicateError(
+                    f"group slice [{start}, {stop}) does not match its "
+                    "state matrix")
+        self._exact = [exactly_summable(states) for states in self._states]
+        self._by_attr: dict[str, list[GroupAttributeIndex]] = {}
+        #: Number of attributes indexed so far / seconds spent sorting
+        #: and prefix-summing (surfaced through ``scorer_stats``).
+        self.build_count = 0
+        self.build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self._slices)
+
+    @property
+    def state_size(self) -> int:
+        return self._states[0].shape[1] if self._states else 0
+
+    @property
+    def attributes_built(self) -> tuple[str, ...]:
+        return tuple(self._by_attr)
+
+    def supports(self, attribute: str) -> bool:
+        """Whether the attribute is continuous over the labeled rows."""
+        return attribute in self._values
+
+    def prefix_tier_groups(self, attribute: str) -> int:
+        """How many of the attribute's group indexes answer in O(1)."""
+        return sum(gi.uses_prefix for gi in self.ensure(attribute))
+
+    # ------------------------------------------------------------------
+    def ensure(self, attribute: str) -> list[GroupAttributeIndex]:
+        """Build (once) and return the attribute's per-group indexes."""
+        per_group = self._by_attr.get(attribute)
+        if per_group is None:
+            try:
+                values = self._values[attribute]
+            except KeyError:
+                raise PredicateError(
+                    f"no continuous attribute {attribute!r} in index"
+                ) from None
+            started = time.perf_counter()
+            per_group = [
+                GroupAttributeIndex(values[start:stop], states, exact)
+                for (start, stop), states, exact
+                in zip(self._slices, self._states, self._exact)
+            ]
+            self._by_attr[attribute] = per_group
+            self.build_count += 1
+            self.build_seconds += time.perf_counter() - started
+        return per_group
+
+    def range_group_stats(self, attribute: str, los: np.ndarray,
+                          his: np.ndarray, closed: np.ndarray,
+                          active_groups: int | None = None,
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Matched counts and removed states of ``m`` ranges per group.
+
+        Returns ``(counts, removed)`` with shapes ``(m, n_groups)`` and
+        ``(m, n_groups, state_size)``, aligned with the construction-time
+        group order — exactly the quantities the scorer's batched
+        influence arithmetic consumes.  ``active_groups`` restricts the
+        work to the first N groups (the scorer's outlier-only scoring
+        skips hold-out groups entirely); the remaining rows stay zero.
+        """
+        per_group = self.ensure(attribute)
+        if active_groups is None:
+            active_groups = self.n_groups
+        m = len(los)
+        counts = np.zeros((m, self.n_groups), dtype=np.int64)
+        removed = np.zeros((m, self.n_groups, self.state_size),
+                           dtype=np.float64)
+        for gi, group_index in enumerate(per_group[:active_groups]):
+            a, b = group_index.slice_bounds(los, his, closed)
+            counts[:, gi] = b - a
+            removed[:, gi, :] = group_index.removed_states(
+                a, b, self._states[gi])
+        return counts, removed

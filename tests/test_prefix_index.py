@@ -1,0 +1,394 @@
+"""Index-vs-mask-vs-scalar equivalence for the prefix-aggregate index.
+
+The routing contract (see :mod:`repro.index`): a single-clause range
+predicate scores identically — exact float equality — whether it goes
+through the index fast path, the batch mask-matrix kernel, or scalar
+``score()``.  These tests drive all three paths over random ranges,
+including empty ranges, whole-group deletion, NaN-bearing attribute
+columns, and duplicate values sitting exactly on clause boundaries, on
+both index tiers (O(1) prefix differences for integer-summable states,
+ascending-row gathers for general floats).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import Avg, Count, Median, StdDev, Sum
+from repro.core.influence import INVALID_INFLUENCE, InfluenceScorer
+from repro.core.naive import NaivePartitioner
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.errors import PredicateError
+from repro.eval.runner import RunRecord
+from repro.index import (
+    GroupAttributeIndex,
+    PrefixAggregateIndex,
+    exactly_summable,
+)
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+from repro.query.groupby import GroupByQuery
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+SCHEMA = Schema([
+    ColumnSpec("g", ColumnKind.DISCRETE),
+    ColumnSpec("a1", ColumnKind.CONTINUOUS),
+    ColumnSpec("a2", ColumnKind.CONTINUOUS),
+    ColumnSpec("v", ColumnKind.CONTINUOUS),
+])
+
+#: a1 is drawn from this small grid so duplicate values land exactly on
+#: clause boundaries all the time.
+A1_GRID = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+
+def build_problem(aggregate, *, integer_values: bool = False,
+                  nan_rate: float = 0.0, rows_per_group: int = 40,
+                  perturbation: str = "delete", c: float = 0.5,
+                  seed: int = 0) -> ScorpionQuery:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for group, shift in (("o1", 4.0), ("o2", 2.0), ("h1", 0.0)):
+        for _ in range(rows_per_group):
+            a1 = float(rng.choice(A1_GRID))
+            a2 = float(rng.uniform(0.0, 10.0))
+            if nan_rate and rng.random() < nan_rate:
+                a2 = float("nan")
+            if integer_values:
+                value = float(rng.integers(0, 50)) + shift
+            else:
+                value = float(rng.normal(10.0, 3.0)) + shift * a1
+            rows.append((group, a1, a2, value))
+    table = Table.from_rows(SCHEMA, rows)
+    query = GroupByQuery("g", aggregate, "v")
+    return ScorpionQuery(table, query, outliers=["o1", "o2"],
+                         holdouts=["h1"], error_vectors=+1.0, c=c,
+                         perturbation=perturbation)
+
+
+@st.composite
+def range_predicates(draw) -> Predicate:
+    """Single-clause ranges over a1/a2 with boundaries that frequently
+    coincide with duplicated data values; occasionally empty (lo == hi,
+    closed, off-grid) or whole-domain (covering every a1 value)."""
+    attribute = draw(st.sampled_from(["a1", "a2"]))
+    lo = draw(st.one_of(st.sampled_from(A1_GRID),
+                        st.floats(-1.0, 9.0, allow_nan=False)))
+    width = draw(st.one_of(st.just(0.0), st.sampled_from([1.0, 2.0, 9.0]),
+                           st.floats(0.0, 5.0, allow_nan=False)))
+    hi = lo + width
+    # A degenerate range (including widths that underflow into lo) must
+    # be closed to be constructible.
+    include_hi = draw(st.booleans()) or hi == lo
+    return Predicate([RangeClause(attribute, lo, hi, include_hi)])
+
+
+def assert_three_paths_equal(problem: ScorpionQuery,
+                             predicates: list[Predicate],
+                             ignore_holdouts: bool = False) -> np.ndarray:
+    indexed = InfluenceScorer(problem, cache_scores=False)
+    masked = InfluenceScorer(problem, cache_scores=False, use_index=False)
+    scalar_scorer = InfluenceScorer(problem, cache_scores=False,
+                                    use_index=False)
+    via_index = indexed.score_batch(predicates,
+                                    ignore_holdouts=ignore_holdouts)
+    via_mask = masked.score_batch(predicates,
+                                  ignore_holdouts=ignore_holdouts)
+    scalar = np.asarray([
+        scalar_scorer.score(p, ignore_holdouts=ignore_holdouts)
+        for p in predicates
+    ])
+    np.testing.assert_array_equal(via_index, via_mask)
+    np.testing.assert_array_equal(via_index, scalar)
+    if predicates and indexed.uses_index:
+        assert indexed.stats.indexed_predicates > 0
+        assert masked.stats.indexed_predicates == 0
+    return via_index
+
+
+class TestExactSummable:
+    def test_count_states_qualify(self):
+        assert exactly_summable(np.ones((100, 1)))
+
+    def test_integer_states_qualify(self):
+        states = np.column_stack([np.arange(50.0), np.arange(50.0) ** 2,
+                                  np.ones(50)])
+        assert exactly_summable(states)
+
+    def test_fractional_states_do_not(self):
+        assert not exactly_summable(np.asarray([[0.5, 1.0]]))
+
+    def test_magnitude_budget(self):
+        assert not exactly_summable(np.asarray([[2.0 ** 53, 1.0]]))
+
+    def test_nan_states_do_not(self):
+        assert not exactly_summable(np.asarray([[np.nan, 1.0]]))
+
+    def test_empty_qualifies(self):
+        assert exactly_summable(np.empty((0, 2)))
+
+
+class TestGroupAttributeIndex:
+    """Slice membership and removed states vs the mask reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_mask_semantics(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 16)))
+        n = data.draw(st.integers(1, 60))
+        values = rng.choice(A1_GRID, size=n)
+        nan_count = data.draw(st.integers(0, 3))
+        values[:nan_count] = np.nan
+        states = np.column_stack([rng.normal(size=n), np.ones(n)])
+        lo = data.draw(st.sampled_from(A1_GRID))
+        hi = lo + data.draw(st.sampled_from([0.0, 1.0, 3.0, 8.0]))
+        include_hi = data.draw(st.booleans()) or hi == lo
+        clause = RangeClause("a1", lo, hi, include_hi)
+
+        index = GroupAttributeIndex(values, states,
+                                    exact=exactly_summable(states))
+        a, b = index.slice_bounds(np.asarray([lo]), np.asarray([hi]),
+                                  np.asarray([include_hi]))
+        mask = clause.mask_values(values)
+        assert int(b[0] - a[0]) == int(np.count_nonzero(mask))
+        assert sorted(index.order[a[0]:b[0]]) == list(np.flatnonzero(mask))
+        removed = index.removed_states(a, b, states)
+        np.testing.assert_array_equal(removed[0], states[mask].sum(axis=0))
+
+    def test_prefix_tier_difference_is_exact(self):
+        rng = np.random.default_rng(7)
+        values = rng.choice(A1_GRID, size=200)
+        states = np.column_stack([
+            rng.integers(0, 1000, size=200).astype(np.float64),
+            np.ones(200),
+        ])
+        index = GroupAttributeIndex(values, states, exact=True)
+        assert index.uses_prefix
+        for lo, hi in [(0.0, 3.0), (2.0, 2.0), (5.0, 100.0), (8.5, 9.0)]:
+            a, b = index.slice_bounds(np.asarray([lo]), np.asarray([hi]),
+                                      np.asarray([True]))
+            mask = RangeClause("a1", lo, hi).mask_values(values)
+            np.testing.assert_array_equal(
+                index.removed_states(a, b, states)[0],
+                states[mask].sum(axis=0) if mask.any() else np.zeros(2))
+
+
+class TestThreePathEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=10))
+    def test_gather_tier_avg(self, predicates):
+        assert_three_paths_equal(build_problem(Avg()), predicates)
+
+    @settings(max_examples=25, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=10))
+    def test_gather_tier_stddev(self, predicates):
+        assert_three_paths_equal(build_problem(StdDev()), predicates)
+
+    @settings(max_examples=25, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=10))
+    def test_prefix_tier_sum(self, predicates):
+        assert_three_paths_equal(
+            build_problem(Sum(), integer_values=True), predicates)
+
+    @settings(max_examples=15, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=8))
+    def test_count_single_component_states(self, predicates):
+        assert_three_paths_equal(build_problem(Count()), predicates)
+
+    @settings(max_examples=15, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=8))
+    def test_mean_perturbation(self, predicates):
+        assert_three_paths_equal(
+            build_problem(Avg(), perturbation="mean"), predicates)
+
+    @settings(max_examples=15, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=8))
+    def test_ignore_holdouts(self, predicates):
+        assert_three_paths_equal(build_problem(Avg()), predicates,
+                                 ignore_holdouts=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=8),
+           c=st.sampled_from([0.0, 0.3, 0.5, 1.0]))
+    def test_fractional_c(self, predicates, c):
+        assert_three_paths_equal(build_problem(Avg(), c=c), predicates)
+
+    @settings(max_examples=15, deadline=None)
+    @given(predicates=st.lists(range_predicates(), max_size=8))
+    def test_nan_bearing_column(self, predicates):
+        assert_three_paths_equal(
+            build_problem(Avg(), nan_rate=0.2), predicates)
+
+
+class TestEdgeCases:
+    def test_empty_range_scores_zero(self):
+        nothing = Predicate([RangeClause("a1", 8.25, 8.5)])
+        values = assert_three_paths_equal(build_problem(Avg()), [nothing])
+        assert values[0] == 0.0
+
+    def test_whole_group_deletion_is_invalid(self):
+        everything = Predicate([RangeClause("a1", -10.0, 100.0)])
+        values = assert_three_paths_equal(build_problem(Avg()), [everything])
+        assert values[0] == INVALID_INFLUENCE
+
+    def test_whole_group_deletion_sum_has_empty_value(self):
+        everything = Predicate([RangeClause("a1", -10.0, 100.0)])
+        values = assert_three_paths_equal(
+            build_problem(Sum(), integer_values=True), [everything])
+        assert np.isfinite(values[0])
+
+    def test_nan_rows_never_match(self):
+        problem = build_problem(Avg(), nan_rate=1.0)
+        any_a2 = Predicate([RangeClause("a2", -1e9, 1e9)])
+        values = assert_three_paths_equal(problem, [any_a2])
+        assert values[0] == 0.0
+
+    def test_duplicate_boundary_open_vs_closed(self):
+        problem = build_problem(Avg())
+        closed = Predicate([RangeClause("a1", 2.0, 4.0, include_hi=True)])
+        open_top = Predicate([RangeClause("a1", 2.0, 4.0, include_hi=False)])
+        values = assert_three_paths_equal(problem, [closed, open_top])
+        assert values[0] != values[1]  # the duplicated boundary value matters
+
+
+class TestRoutingAndPlanner:
+    def test_mixed_batch_routes_by_shape(self):
+        problem = build_problem(Avg())
+        scorer = InfluenceScorer(problem, cache_scores=False)
+        batch = [
+            Predicate([RangeClause("a1", 1.0, 3.0)]),              # indexed
+            Predicate([RangeClause("a2", 1.0, 3.0)]),              # indexed
+            Predicate([RangeClause("a1", 1.0, 3.0),
+                       RangeClause("a2", 0.0, 5.0)]),              # masked
+            Predicate.true(),                                      # masked
+            Predicate([SetClause("g", ["o1"])]),                   # scalar
+        ]
+        reference = InfluenceScorer(problem, cache_scores=False,
+                                    use_index=False)
+        np.testing.assert_array_equal(
+            scorer.score_batch(batch), reference.score_batch(batch))
+        assert scorer.stats.indexed_predicates == 2
+        # The conjunction and TRUE take the mask kernel; the group-by
+        # clause is outside the labeled evaluator → scalar fallback.
+        assert scorer.stats.masked_predicates == 2
+        assert scorer.stats.mask_scores == 3
+
+    def test_planner_rejects_black_box_aggregates(self):
+        scorer = InfluenceScorer(build_problem(Median()), cache_scores=False)
+        assert not scorer.uses_index
+        assert scorer.planner.fast_clause(
+            Predicate([RangeClause("a1", 0.0, 2.0)])) is None
+
+    def test_use_index_false_disables_routing(self):
+        scorer = InfluenceScorer(build_problem(Avg()), cache_scores=False,
+                                 use_index=False)
+        assert not scorer.uses_index
+        scorer.score_batch([Predicate([RangeClause("a1", 0.0, 2.0)])])
+        assert scorer.stats.indexed_predicates == 0
+        assert scorer.stats.masked_predicates == 1
+
+    def test_lazy_build_and_prepare(self):
+        scorer = InfluenceScorer(build_problem(Avg()))
+        assert scorer.stats.index_builds == 0
+        scorer.score_batch([Predicate([RangeClause("a1", 0.0, 2.0)])])
+        assert scorer.stats.index_builds == 1  # only a1, built on demand
+        # prepare covers the remaining continuous A_rest attributes,
+        # building each exactly once.
+        built = scorer.prepare_index()
+        assert set(built) == {"a1", "a2"}
+        assert scorer.stats.index_builds == 2
+        assert scorer.prepare_index() == built
+        assert scorer.stats.index_builds == 2
+        assert scorer.stats.index_build_seconds >= 0.0
+
+    def test_prepare_index_without_index_is_noop(self):
+        scorer = InfluenceScorer(build_problem(Median()))
+        assert scorer.prepare_index() == ()
+
+    def test_prefix_tier_engages_for_integer_states(self):
+        scorer = InfluenceScorer(build_problem(Sum(), integer_values=True))
+        scorer.prepare_index(["a1"])
+        index = scorer.planner.index
+        assert isinstance(index, PrefixAggregateIndex)
+        assert index.prefix_tier_groups("a1") == 3
+
+    def test_gather_tier_for_float_states(self):
+        scorer = InfluenceScorer(build_problem(Avg()))
+        scorer.prepare_index(["a1"])
+        assert scorer.planner.index.prefix_tier_groups("a1") == 0
+
+    def test_cache_coherent_across_paths(self):
+        scorer = InfluenceScorer(build_problem(Avg()))
+        predicate = Predicate([RangeClause("a1", 1.0, 4.0)])
+        batched = scorer.score_batch([predicate])[0]
+        before = scorer.stats.cache_hits
+        assert scorer.score(predicate) == batched
+        assert scorer.stats.cache_hits == before + 1
+
+
+class TestBatchChunkKnob:
+    def test_constructor_argument(self):
+        scorer = InfluenceScorer(build_problem(Avg()), batch_chunk=16)
+        assert scorer.batch_chunk == 16
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_BATCH_CHUNK", "32")
+        assert InfluenceScorer(build_problem(Avg())).batch_chunk == 32
+        # An explicit argument wins over the environment.
+        scorer = InfluenceScorer(build_problem(Avg()), batch_chunk=8)
+        assert scorer.batch_chunk == 8
+
+    def test_builtin_default(self, monkeypatch):
+        monkeypatch.delenv("SCORPION_BATCH_CHUNK", raising=False)
+        scorer = InfluenceScorer(build_problem(Avg()))
+        assert scorer.batch_chunk == InfluenceScorer.BATCH_CHUNK
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(PredicateError):
+            InfluenceScorer(build_problem(Avg()), batch_chunk=0)
+
+    def test_chunked_index_path_matches(self):
+        problem = build_problem(Avg())
+        predicates = [Predicate([RangeClause("a1", 0.0, 1.0 + 0.5 * i)])
+                      for i in range(23)]
+        small = InfluenceScorer(problem, cache_scores=False, batch_chunk=4)
+        large = InfluenceScorer(problem, cache_scores=False)
+        np.testing.assert_array_equal(small.score_batch(predicates),
+                                      large.score_batch(predicates))
+        assert small.stats.indexed_predicates == len(predicates)
+
+
+class TestEndToEndSurface:
+    def test_scorpion_result_carries_routing_counters(self):
+        problem = build_problem(Sum(), integer_values=True)
+        partitioner = NaivePartitioner(time_budget=None, max_evaluations=80,
+                                       max_clauses=1)
+        scorpion = Scorpion(partitioner=partitioner, use_cache=False)
+        result = scorpion.explain(problem)
+        assert result.scorer_stats["indexed_predicates"] > 0
+        assert result.scorer_stats["index_builds"] > 0
+        assert result.scorer_stats["index_build_seconds"] >= 0.0
+
+    def test_index_does_not_change_explanations(self):
+        problem = build_problem(Avg())
+        partitioner = NaivePartitioner(time_budget=None, max_evaluations=120)
+        with_index = Scorpion(partitioner=partitioner,
+                              use_cache=False).explain(problem)
+        partitioner = NaivePartitioner(time_budget=None, max_evaluations=120)
+        without = Scorpion(partitioner=partitioner, use_cache=False,
+                           use_index=False).explain(problem)
+        assert with_index.best.predicate == without.best.predicate
+        assert with_index.best.influence == without.best.influence
+        assert without.scorer_stats["indexed_predicates"] == 0
+
+    def test_run_record_routing_properties(self):
+        record = RunRecord(algorithm="naive", c=0.5, predicate=None,
+                           influence=0.0, runtime=0.0,
+                           scorer_stats={"indexed_predicates": 7,
+                                         "masked_predicates": 3})
+        assert record.indexed_predicates == 7
+        assert record.masked_predicates == 3
+        assert RunRecord(algorithm="naive", c=0.5, predicate=None,
+                         influence=0.0, runtime=0.0).indexed_predicates == 0

@@ -150,8 +150,9 @@ class TestEdgeCases:
         scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
         predicates = [Predicate([RangeClause("voltage", 2.0, 2.3 + 0.001 * i)])
                       for i in range(37)]
-        small = InfluenceScorer(sensors_problem(), cache_scores=False)
-        small.BATCH_CHUNK = 8  # instance override: force multiple passes
+        small = InfluenceScorer(sensors_problem(), cache_scores=False,
+                                batch_chunk=8)  # force multiple passes
+        assert small.batch_chunk == 8
         np.testing.assert_array_equal(small.score_batch(predicates),
                                       scorer.score_batch(predicates))
 
