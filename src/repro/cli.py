@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="predicates per vectorized scoring pass "
                              "(default: SCORPION_BATCH_CHUNK env var or "
                              "the built-in 1024; results are unaffected)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sharded batch scoring "
+                             "(default: SCORPION_WORKERS env var or 1 = "
+                             "serial; 0 = one per CPU; results are "
+                             "bit-for-bit identical at any setting)")
     return parser
 
 
@@ -118,7 +123,8 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         )
         scorpion = Scorpion(algorithm=args.algorithm, top_k=args.top_k,
                             use_index=not args.no_index,
-                            batch_chunk=args.batch_chunk)
+                            batch_chunk=args.batch_chunk,
+                            workers=args.workers)
         if args.explore_c:
             exploration = CExplorer(scorpion).explore(problem)
             print(exploration.to_string(), file=out)

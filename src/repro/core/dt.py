@@ -29,7 +29,10 @@ and their removal statistics and sampled-influence scores come from two
 candidates happens downstream — the Merger batch-scores its expansion
 starts through :meth:`InfluenceScorer.score_batch`; single-clause leaf
 ranges are declared to the Scorer's prefix-aggregate index first so
-that scoring takes the O(log n) fast path.
+that scoring takes the O(log n) fast path.  Those batches (and the
+Merger's per-round adoption verifications) shard across worker
+processes when the scorer's ``workers`` knob is set, with no changes
+here (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations

@@ -68,12 +68,36 @@ unchanged; the planner's routing counters (``indexed_predicates`` /
 surface through :class:`ScorerStats`.  Everything else — conjunctions,
 discrete clauses, black-box aggregates, non-labeled attributes — takes
 the mask-matrix kernel exactly as before.
+
+Parallel sharded execution
+--------------------------
+
+With ``workers > 1`` (constructor / ``SCORPION_WORKERS`` /
+``Scorpion(workers=...)`` / CLI ``--workers``; ``0`` = one worker per
+CPU), ``score_batch`` hands its ``batch_chunk``-sized shards to a
+persistent process pool instead of looping them in-process (see
+:mod:`repro.parallel`).  The problem's arrays go into shared memory
+once; each worker rebuilds this scorer's batch kernel around zero-copy
+views and runs *the same methods on byte-identical inputs*, and shards
+are reassembled in submission order — so influences are bit-for-bit
+identical to serial execution at any worker count.  Per-worker kernel
+counters are merged back into :class:`ScorerStats`
+(:meth:`ScorerStats.merge_worker_counters`), keeping aggregate counters
+equal to a serial run's; the parallel-only ``parallel_batches`` /
+``parallel_shards`` counters record how much work the pool took.  Any
+pool failure (worker crash, shard timeout) falls back to serial scoring
+for the rest of the scorer's life, with a warning — results are always
+produced.  Batches that fit in a single shard skip the pool entirely,
+and cache-hit / fallback predicates are always handled in the parent.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
+import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -83,6 +107,7 @@ from repro.aggregates.base import AggregateFunction
 from repro.core.problem import ScorpionQuery
 from repro.errors import AggregateError, PredicateError
 from repro.index import IndexPlanner, PrefixAggregateIndex
+from repro.parallel import resolve_workers
 from repro.predicates.clause import RangeClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
@@ -176,6 +201,22 @@ class ScorerStats:
     index_builds: int = 0
     #: Wall-clock seconds spent sorting / prefix-summing index builds.
     index_build_seconds: float = 0.0
+    #: ``score_batch`` calls whose shards ran on the worker pool.
+    parallel_batches: int = 0
+    #: Predicate shards executed by worker processes.
+    parallel_shards: int = 0
+
+    #: Counters incremented *inside* the batch kernels and therefore on
+    #: worker processes when scoring runs parallel; :meth:`worker_counters`
+    #: exports them from a worker's stats window and
+    #: :meth:`merge_worker_counters` folds them back into the parent's, so
+    #: aggregate totals equal a serial run's.  The index-build pair is
+    #: normally zero on workers (the parent pre-builds and ships every
+    #: routed attribute) but covers the safety-net case of a worker
+    #: building an un-shipped attribute locally.  Everything else is
+    #: counted in the parent regardless of execution mode.
+    WORKER_MERGED = ("incremental_deltas", "full_recomputes",
+                     "index_builds", "index_build_seconds")
 
     @property
     def batch_throughput(self) -> float:
@@ -190,20 +231,26 @@ class ScorerStats:
         data["batch_throughput"] = self.batch_throughput
         return data
 
+    def worker_counters(self) -> dict[str, float]:
+        """The kernel-internal counters of this (worker-side) window."""
+        return {name: getattr(self, name) for name in self.WORKER_MERGED}
+
+    def merge_worker_counters(self, counters: dict[str, float]) -> None:
+        """Fold one worker shard's kernel counters into this aggregate."""
+        for name in self.WORKER_MERGED:
+            setattr(self, name, getattr(self, name) + counters.get(name, 0))
+
     def reset(self) -> None:
-        self.predicate_scores = 0
-        self.mask_scores = 0
-        self.incremental_deltas = 0
-        self.full_recomputes = 0
-        self.cache_hits = 0
-        self.batch_calls = 0
-        self.batch_predicates = 0
-        self.largest_batch = 0
-        self.batch_seconds = 0.0
-        self.indexed_predicates = 0
-        self.masked_predicates = 0
-        self.index_builds = 0
-        self.index_build_seconds = 0.0
+        """Zero every counter (field defaults are the zeros).
+
+        Monotonicity contract: resetting starts a fresh counting window
+        — it must never cause already-counted work to be re-counted.
+        The scorer's index-build sync honors this by accumulating
+        *deltas* against baselines it keeps outside the stats object
+        (see :meth:`InfluenceScorer.reset_stats`).
+        """
+        for spec in dataclasses.fields(self):
+            setattr(self, spec.name, spec.default)
 
 
 class InfluenceScorer:
@@ -230,12 +277,20 @@ class InfluenceScorer:
         ``SCORPION_BATCH_CHUNK`` environment variable, else the class
         default :attr:`BATCH_CHUNK`; chunking never affects results
         (both kernels are row-deterministic), so benchmarks can sweep it
-        freely.
+        freely.  With ``workers > 1`` it is also the shard size the
+        executor fans out.
+    workers:
+        Worker processes for sharded ``score_batch`` execution (see
+        :mod:`repro.parallel`).  Defaults to the ``SCORPION_WORKERS``
+        environment variable, else 1 (serial, no pool); ``0`` means one
+        worker per CPU.  Results are bit-for-bit identical at any
+        setting.
     """
 
     def __init__(self, query: ScorpionQuery, use_incremental: bool = True,
                  cache_scores: bool = True, use_index: bool = True,
-                 batch_chunk: int | None = None):
+                 batch_chunk: int | None = None,
+                 workers: int | None = None):
         self.query = query
         self.aggregate: AggregateFunction = query.aggregate
         self.lam = query.lam
@@ -255,6 +310,15 @@ class InfluenceScorer:
         if self.batch_chunk < 1:
             raise PredicateError(
                 f"batch_chunk must be >= 1, got {self.batch_chunk}")
+        self.workers = resolve_workers(workers)
+        self._executor = None
+        self._parallel_disabled = self.workers <= 1
+        self._finalizer: weakref.finalize | None = None
+        self._index_attr_specs: dict = {}
+        #: Index build totals already folded into ``stats`` — the sync
+        #: baselines that make :meth:`_sync_index_stats` monotonic.
+        self._index_builds_seen = 0
+        self._index_seconds_seen = 0.0
         self._score_cache: dict[Predicate, float] | None = {} if cache_scores else None
         self._outlier_score_cache: dict[Predicate, float] | None = (
             {} if cache_scores else None
@@ -528,9 +592,33 @@ class InfluenceScorer:
         return tuple(built)
 
     def _sync_index_stats(self) -> None:
+        """Fold index-build work into ``stats`` *monotonically*.
+
+        Accumulates only the delta since the last sync (baselines live
+        on the scorer, not the stats object), so a mid-run
+        ``reset_stats`` / re-``prepare_index`` can neither resurrect
+        already-counted builds nor clobber counters merged back from
+        worker shards.
+        """
         assert self._index is not None
-        self.stats.index_builds = self._index.build_count
-        self.stats.index_build_seconds = self._index.build_seconds
+        builds = self._index.build_count
+        seconds = self._index.build_seconds
+        self.stats.index_builds += builds - self._index_builds_seen
+        self.stats.index_build_seconds += seconds - self._index_seconds_seen
+        self._index_builds_seen = builds
+        self._index_seconds_seen = seconds
+
+    def reset_stats(self) -> None:
+        """Start a fresh :class:`ScorerStats` counting window.
+
+        The supported way to reset counters mid-run: clears every
+        counter while *keeping* the index-build sync baselines, so work
+        counted in a previous window is never counted again (plain
+        ``scorer.stats.reset()`` behaves identically now that
+        :meth:`_sync_index_stats` is delta-based; this method documents
+        and pins the contract).
+        """
+        self.stats.reset()
 
     def score_batch(self, predicates: Sequence[Predicate] | Iterable[Predicate],
                     ignore_holdouts: bool = False) -> np.ndarray:
@@ -569,17 +657,27 @@ class InfluenceScorer:
                 pending[predicate] = [i]
 
         route = self._planner.partition(pending)
-        for lo in range(0, len(route.masked), self.batch_chunk):
-            chunk = route.masked[lo:lo + self.batch_chunk]
-            matrix = self._labeled_evaluator.evaluate_batch(chunk)
-            if ignore_holdouts and self.holdout_contexts:
-                # Hold-out contexts are skipped entirely downstream;
-                # dropping their columns up front keeps the scatter-add
-                # kernel from scanning and bucketing their set bits.
-                matrix = matrix[:, :self._outlier_cols]
+        masked_shards = [route.masked[lo:lo + self.batch_chunk]
+                         for lo in range(0, len(route.masked), self.batch_chunk)]
+        indexed_shards = [route.indexed[lo:lo + self.batch_chunk]
+                          for lo in range(0, len(route.indexed), self.batch_chunk)]
+
+        shard_values = None
+        if (not self._parallel_disabled
+                and len(masked_shards) + len(indexed_shards) >= 2):
+            shard_values = self._score_shards_parallel(
+                masked_shards, indexed_shards, ignore_holdouts)
+        if shard_values is None:
+            masked_values = [self._score_masked_chunk(chunk, ignore_holdouts)
+                             for chunk in masked_shards]
+            indexed_values = [self._score_index_chunk(chunk, ignore_holdouts)
+                              for chunk in indexed_shards]
+        else:
+            masked_values, indexed_values = shard_values
+
+        for chunk, values in zip(masked_shards, masked_values):
             self.stats.mask_scores += len(chunk)
             self.stats.masked_predicates += len(chunk)
-            values = self._score_mask_matrix(matrix, ignore_holdouts)
             for predicate, value in zip(chunk, values):
                 value = float(value)
                 if cache is not None:
@@ -587,10 +685,8 @@ class InfluenceScorer:
                 for i in pending[predicate]:
                     out[i] = value
 
-        for lo in range(0, len(route.indexed), self.batch_chunk):
-            chunk = route.indexed[lo:lo + self.batch_chunk]
+        for chunk, values in zip(indexed_shards, indexed_values):
             self.stats.indexed_predicates += len(chunk)
-            values = self._score_index_chunk(chunk, ignore_holdouts)
             for (predicate, _), value in zip(chunk, values):
                 value = float(value)
                 if cache is not None:
@@ -612,6 +708,124 @@ class InfluenceScorer:
 
         self.stats.batch_seconds += time.perf_counter() - started
         return out
+
+    # ------------------------------------------------------------------
+    # Sharded parallel execution (see repro.parallel)
+    # ------------------------------------------------------------------
+    @property
+    def uses_parallel(self) -> bool:
+        """Whether batch shards may be dispatched to worker processes
+        (``workers > 1`` and the pool has not failed)."""
+        return not self._parallel_disabled
+
+    def _score_shards_parallel(self, masked_shards: list, indexed_shards: list,
+                               ignore_holdouts: bool):
+        """Run routed shards on the worker pool.
+
+        Returns ``(masked_values, indexed_values)`` aligned with the
+        shard lists — bit-for-bit what the serial loops would compute —
+        or None after disabling parallelism (any failure: the caller
+        then takes the serial path, so scoring always completes).
+        """
+        try:
+            executor = self._ensure_executor()
+            tasks: list[tuple] = []
+            for chunk in masked_shards:
+                tasks.append(("masked", list(chunk), ignore_holdouts, ()))
+            for chunk in indexed_shards:
+                attrs = sorted({clause.attribute for _, clause in chunk})
+                specs = tuple(self._index_attribute_spec(executor, attr)
+                              for attr in attrs)
+                tasks.append(("indexed", [clause for _, clause in chunk],
+                              ignore_holdouts, specs))
+            results = executor.run(tasks)
+        except Exception as exc:  # noqa: BLE001 - availability over purity:
+            # a broken pool must never break scoring, only slow it down.
+            warnings.warn(
+                f"parallel scoring failed ({exc}); falling back to serial "
+                "scoring for this scorer", RuntimeWarning, stacklevel=3)
+            self._disable_parallel()
+            return None
+        values = []
+        for shard_values, worker_counters in results:
+            self.stats.merge_worker_counters(worker_counters)
+            values.append(shard_values)
+        self.stats.parallel_batches += 1
+        self.stats.parallel_shards += len(tasks)
+        n_masked = len(masked_shards)
+        return values[:n_masked], values[n_masked:]
+
+    def _ensure_executor(self):
+        """Lazily build the kernel spec, place the problem's arrays in
+        shared memory, and start the persistent worker pool."""
+        if self._executor is None:
+            from repro.parallel import ShardedScoringExecutor, build_kernel_spec
+
+            spec, segments = build_kernel_spec(self)
+            executor = ShardedScoringExecutor(self.workers)
+            executor.start(spec, segments)  # closes segments on failure
+            self._executor = executor
+            self._finalizer = weakref.finalize(self, executor.close)
+        return self._executor
+
+    def _index_attribute_spec(self, executor, attribute: str):
+        """The shared-memory spec of one built index attribute, building
+        (in the parent, so ``index_builds`` counts exactly as serial
+        routing would) and exporting it on first use."""
+        spec = self._index_attr_specs.get(attribute)
+        if spec is None:
+            from repro.parallel import export_index_attribute
+
+            assert self._index is not None
+            self._index.ensure(attribute)
+            self._sync_index_stats()
+            shm, spec = export_index_attribute(self._index, attribute)
+            executor.register_segment(shm)
+            self._index_attr_specs[attribute] = spec
+        return spec
+
+    def _disable_parallel(self) -> None:
+        """Permanently route this scorer's batches through the serial
+        path and release the pool + shared memory."""
+        self._parallel_disabled = True
+        self.close()
+
+    def close(self) -> None:
+        """Release the worker pool and its shared-memory segments.
+
+        No-op for serial scorers; idempotent.  The scorer stays fully
+        usable afterwards — a later parallel batch simply restarts the
+        pool (unless parallelism was disabled by a failure).
+        """
+        executor, self._executor = self._executor, None
+        self._index_attr_specs = {}
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if executor is not None:
+            executor.close()
+
+    def _score_masked_chunk(self, chunk: Sequence[Predicate],
+                            ignore_holdouts: bool) -> np.ndarray:
+        """One mask-path shard, end to end: evaluate the chunk's mask
+        matrix and score it.  The single definition of the masked-shard
+        body — the serial loop and the worker processes both call this,
+        so the parallel path can never drift from the serial one."""
+        matrix = self._labeled_evaluator.evaluate_batch(chunk)
+        if ignore_holdouts and self.holdout_contexts:
+            # Hold-out contexts are skipped entirely downstream; dropping
+            # their columns up front keeps the scatter-add kernel from
+            # scanning and bucketing their set bits.
+            matrix = matrix[:, :self._outlier_cols]
+        return self._score_mask_matrix(matrix, ignore_holdouts)
+
+    def _score_clause_shard(self, clauses: Sequence[RangeClause],
+                            ignore_holdouts: bool) -> np.ndarray:
+        """One index-path shard shipped as bare range clauses — the
+        worker-side entry (predicates stay in the parent; the index
+        kernel only reads the clauses)."""
+        return self._score_index_chunk([(None, clause) for clause in clauses],
+                                       ignore_holdouts)
 
     def _score_mask_matrix(self, matrix: np.ndarray,
                            ignore_holdouts: bool) -> np.ndarray:

@@ -23,7 +23,10 @@ every surviving cell — goes through one
 round-trip per cell; the level-1 continuous cells are single range
 clauses, so MC declares its continuous attributes via
 :meth:`InfluenceScorer.prepare_index` and that first (largest) round
-rides the prefix-aggregate index instead of mask matrices.
+rides the prefix-aggregate index instead of mask matrices.  Those same
+``score_batch`` rounds shard across worker processes when the scorer's
+``workers`` knob is set — MC inherits the parallelism with no changes
+here (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations

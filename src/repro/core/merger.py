@@ -28,6 +28,16 @@ configuration), each expansion round collects its candidate merges and
 scores them through one :meth:`InfluenceScorer.score_batch` call, and
 expansion starts are exact-scored in one warm-up batch, so the scalar
 Scorer round-trip disappears from the expansion loop either way.
+
+Expansions run in *lockstep*: every start advances one greedy round at
+a time, and the round's winning merges — one per still-active start,
+independent across starts — are adoption-verified through a single
+``score_batch`` call (which shards across worker processes when the
+scorer's ``workers`` knob is set).  The per-start accept/reject
+decisions are identical to expanding each start to completion with
+scalar verification: a start's trajectory reads only its own state and
+the shared read-only candidate list, and ``score_batch`` returns
+exactly what ``score`` would.
 """
 
 from __future__ import annotations
@@ -134,6 +144,22 @@ class _ApproxIndex:
 
 
 @dataclass
+class _Expansion:
+    """One start's greedy-expansion state inside the lockstep loop."""
+
+    current: Predicate
+    #: Exact influence of ``current`` (adoption baseline).
+    exact: float
+    #: Estimated influence of ``current`` (scan baseline).
+    estimate: float
+    #: Candidate predicates already absorbed (never re-merged).
+    members: set[Predicate]
+    #: Neighbourhood scans performed (capped at ``max_rounds``).
+    scans: int = 0
+    active: bool = True
+
+
+@dataclass
 class MergerParams:
     """Tuning knobs of the Merger."""
 
@@ -216,18 +242,17 @@ class Merger:
                 if predicate.num_clauses == 1
                 and isinstance(predicate.clauses[0], RangeClause)
             })
-        if expansion_starts and self.scorer.caches_scores:
-            # Exact-score every start in one vectorized pass; the scalar
-            # calls below (record / adoption verification) hit the cache.
-            self.scorer.score_batch(expansion_starts)
+        # _expand_lockstep opens by batch-scoring every start (and every
+        # adoption downstream), so with caching on the scalar record()
+        # calls below are all cache hits — no separate warm-up needed.
+        expanded_by_start = self._expand_lockstep(expansion_starts, ranked)
         results: dict[Predicate, float] = {}
 
         def record(predicate: Predicate) -> None:
             if predicate not in results:
                 results[predicate] = self.scorer.score(predicate)
 
-        for predicate in expansion_starts:
-            expanded = self._expand(predicate, ranked)
+        for predicate, expanded in zip(expansion_starts, expanded_by_start):
             record(expanded)
             # The start partition itself stays in the ranking: expansion
             # decisions are estimate-driven and an over-eager merge must
@@ -243,47 +268,81 @@ class Merger:
     # ------------------------------------------------------------------
     # Expansion loop
     # ------------------------------------------------------------------
-    def _expand(self, predicate: Predicate, candidates: list[CandidatePredicate],
-                ) -> Predicate:
-        """Greedily grow ``predicate`` while influence increases.
+    def _expand_lockstep(self, starts: list[Predicate],
+                         candidates: list[CandidatePredicate],
+                         ) -> list[Predicate]:
+        """Greedily grow every start while its influence increases,
+        advancing all starts one round at a time.
 
-        Candidate merges are ranked with :meth:`_estimate` (cheap,
-        possibly approximate); each *adoption* is verified with one exact
-        Scorer call so approximation drift cannot walk the expansion past
-        its best point.  The per-round candidate scans — the cost the
-        Section 6.3 approximation exists to cut — stay estimate-only.
+        Candidate merges are ranked with :meth:`_estimate_batch` (cheap,
+        possibly approximate); each round's *adoptions* — the best merge
+        of each still-active start — are then verified with one exact
+        :meth:`InfluenceScorer.score_batch` call, so approximation drift
+        cannot walk an expansion past its best point and the per-round
+        verification cost batches (and parallelizes) across starts.  The
+        per-round candidate scans — the cost the Section 6.3
+        approximation exists to cut — stay estimate-only.
+
+        Per start, the scan/accept/reject sequence is exactly the scalar
+        greedy loop's: at most ``max_rounds`` scans, stop when no
+        adjacent merge improves the estimate, adopt only when the exact
+        score improves.  Returns the expanded predicate of each start,
+        aligned with ``starts``.
         """
-        current = predicate
-        current_exact = self.scorer.score(current)
-        current_estimate = self._estimate(current, candidates)
-        merged_members: set[Predicate] = {current}
-        for _ in range(self.params.max_rounds):
-            merges: list[tuple[Predicate, Predicate]] = []
-            neighbors = 0
-            for other in candidates:
-                if other.predicate in merged_members:
+        if not starts:
+            return []
+        start_exacts = self.scorer.score_batch(starts)
+        states = [_Expansion(current=predicate, exact=float(exact),
+                             estimate=self._estimate(predicate, candidates),
+                             members={predicate})
+                  for predicate, exact in zip(starts, start_exacts)]
+        while True:
+            proposals: list[tuple[_Expansion, Predicate, Predicate, float]] = []
+            for state in states:
+                if not state.active:
                     continue
-                if not current.is_adjacent_to(other.predicate):
+                if state.scans >= self.params.max_rounds:
+                    state.active = False
                     continue
-                neighbors += 1
-                if neighbors > self.params.max_neighbors:
-                    break
-                merges.append((current.merge(other.predicate), other.predicate))
-            if not merges:
+                state.scans += 1
+                merges: list[tuple[Predicate, Predicate]] = []
+                neighbors = 0
+                for other in candidates:
+                    if other.predicate in state.members:
+                        continue
+                    if not state.current.is_adjacent_to(other.predicate):
+                        continue
+                    neighbors += 1
+                    if neighbors > self.params.max_neighbors:
+                        break
+                    merges.append((state.current.merge(other.predicate),
+                                   other.predicate))
+                if not merges:
+                    state.active = False
+                    continue
+                estimates = self._estimate_batch([m for m, _ in merges])
+                self.report.n_merge_evaluations += len(merges)
+                best_index = int(np.argmax(estimates))
+                estimate = float(estimates[best_index])
+                if not estimate > state.estimate:
+                    state.active = False
+                    continue
+                merged, member = merges[best_index]
+                proposals.append((state, merged, member, estimate))
+            if not proposals:
                 break
-            estimates = self._estimate_batch([m for m, _ in merges])
-            self.report.n_merge_evaluations += len(merges)
-            best_index = int(np.argmax(estimates))
-            estimate = float(estimates[best_index])
-            if not estimate > current_estimate:
-                break
-            merged, member = merges[best_index]
-            exact = self.scorer.score(merged)
-            if exact <= current_exact:
-                break
-            current, current_estimate, current_exact = merged, estimate, exact
-            merged_members.add(member)
-        return current
+            exacts = self.scorer.score_batch(
+                [merged for _, merged, _, _ in proposals])
+            for (state, merged, member, estimate), exact in zip(proposals,
+                                                                exacts):
+                if float(exact) <= state.exact:
+                    state.active = False
+                    continue
+                state.current = merged
+                state.estimate = estimate
+                state.exact = float(exact)
+                state.members.add(member)
+        return [state.current for state in states]
 
     # ------------------------------------------------------------------
     # Influence estimation

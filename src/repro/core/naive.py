@@ -21,6 +21,11 @@ The enumeration's opening wave is exactly the index fast path's shape
 declares those attributes up front via
 :meth:`InfluenceScorer.prepare_index` and the batches bypass mask
 matrices entirely.
+
+Because all scoring funnels through ``score_batch``, NAIVE inherits
+sharded multi-process execution from the scorer's ``workers`` knob with
+no changes here: each chunk splits into shards scored on the worker
+pool, bit-for-bit identical to serial (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations

@@ -63,9 +63,12 @@ class ScorpionResult:
     n_candidates: int
     #: Scorer operation counters (:meth:`ScorerStats.as_dict`), including
     #: the batch-scoring counters ``batch_calls`` / ``batch_predicates``
-    #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput`` and
+    #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput``,
     #: the index-routing counters ``indexed_predicates`` /
-    #: ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``.
+    #: ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``,
+    #: and the parallel-execution counters ``parallel_batches`` /
+    #: ``parallel_shards`` (worker-side kernel counters are merged back
+    #: in, so totals match a serial run).
     scorer_stats: dict
 
     @property
@@ -105,7 +108,15 @@ class Scorpion:
     batch_chunk:
         Override for the Scorer's per-pass predicate chunk size (None =
         the ``SCORPION_BATCH_CHUNK`` environment variable, else the
-        built-in default); benchmarks sweep it.
+        built-in default); benchmarks sweep it.  With ``workers > 1``
+        it is also the shard size fanned out to worker processes.
+    workers:
+        Worker processes for sharded batch scoring (None = the
+        ``SCORPION_WORKERS`` environment variable, else 1 = serial;
+        ``0`` = one worker per CPU).  Every search algorithm funnels
+        through ``InfluenceScorer.score_batch``, so NAIVE, MC, DT, and
+        the Merger all inherit the parallelism; results are bit-for-bit
+        identical at any setting (see :mod:`repro.parallel`).
     """
 
     def __init__(self, algorithm: str = "auto", partitioner=None,
@@ -113,7 +124,8 @@ class Scorpion:
                  use_cache: bool = True, top_k: int = 5,
                  auto_select_attributes: bool = False,
                  relevance_threshold: float = 0.05,
-                 use_index: bool = True, batch_chunk: int | None = None):
+                 use_index: bool = True, batch_chunk: int | None = None,
+                 workers: int | None = None):
         if algorithm not in ("auto", "dt", "mc", "naive"):
             raise PartitionerError(f"unknown algorithm {algorithm!r}")
         if top_k < 1:
@@ -127,6 +139,7 @@ class Scorpion:
         self.relevance_threshold = relevance_threshold
         self.use_index = use_index
         self.batch_chunk = batch_chunk
+        self.workers = workers
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
@@ -136,32 +149,38 @@ class Scorpion:
         if self.auto_select_attributes:
             query = self._narrow_attributes(query)
         scorer = InfluenceScorer(query, use_index=self.use_index,
-                                 batch_chunk=self.batch_chunk)
-        partitioner = self.partitioner or self._pick_partitioner(query, scorer)
+                                 batch_chunk=self.batch_chunk,
+                                 workers=self.workers)
+        try:
+            partitioner = self.partitioner or self._pick_partitioner(query, scorer)
 
-        merge_elapsed = 0.0
-        if isinstance(partitioner, DTPartitioner):
-            ranked, partition_elapsed, merge_elapsed, n_candidates = (
-                self._run_dt(query, partitioner, scorer))
-            algorithm = "dt"
-        else:
-            result = partitioner.run(query, scorer)
-            ranked = result.ranked
-            partition_elapsed = result.elapsed
-            n_candidates = result.n_evaluated
-            algorithm = partitioner.name
+            merge_elapsed = 0.0
+            if isinstance(partitioner, DTPartitioner):
+                ranked, partition_elapsed, merge_elapsed, n_candidates = (
+                    self._run_dt(query, partitioner, scorer))
+                algorithm = "dt"
+            else:
+                result = partitioner.run(query, scorer)
+                ranked = result.ranked
+                partition_elapsed = result.elapsed
+                n_candidates = result.n_evaluated
+                algorithm = partitioner.name
 
-        explanations = [self._to_explanation(sp, scorer, query)
-                        for sp in ranked[: self.top_k]]
-        return ScorpionResult(
-            explanations=explanations,
-            algorithm=algorithm,
-            elapsed=time.perf_counter() - start,
-            partition_elapsed=partition_elapsed,
-            merge_elapsed=merge_elapsed,
-            n_candidates=n_candidates,
-            scorer_stats=scorer.stats.as_dict(),
-        )
+            explanations = [self._to_explanation(sp, scorer, query)
+                            for sp in ranked[: self.top_k]]
+            return ScorpionResult(
+                explanations=explanations,
+                algorithm=algorithm,
+                elapsed=time.perf_counter() - start,
+                partition_elapsed=partition_elapsed,
+                merge_elapsed=merge_elapsed,
+                n_candidates=n_candidates,
+                scorer_stats=scorer.stats.as_dict(),
+            )
+        finally:
+            # Release the parallel executor's worker pool and shared
+            # memory promptly (no-op for serial scorers).
+            scorer.close()
 
     # ------------------------------------------------------------------
     def _narrow_attributes(self, query: ScorpionQuery) -> ScorpionQuery:

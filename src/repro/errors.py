@@ -49,3 +49,16 @@ class PartitionerError(ScorpionError):
 
 class DatasetError(ScorpionError):
     """A synthetic dataset generator received inconsistent parameters."""
+
+
+class ParallelError(ScorpionError):
+    """The shared-memory parallel scoring executor failed or was
+    misconfigured.
+
+    Raised for invalid worker counts and wrapped around worker-pool
+    failures (a crashed worker process, a shard that exceeded its
+    timeout, or a shard that could not be submitted).  The scorer
+    catches executor failures internally and falls back to serial
+    scoring with a warning, so callers of ``score_batch`` only see this
+    exception for configuration mistakes.
+    """

@@ -38,9 +38,11 @@ class RunRecord:
     n_candidates: int = 0
     #: Scorer operation counters for the run (see
     #: :meth:`repro.core.influence.ScorerStats.as_dict`), including the
-    #: batch-scoring size/throughput counters and the index-routing
+    #: batch-scoring size/throughput counters, the index-routing
     #: counters (``indexed_predicates`` / ``masked_predicates`` /
-    #: ``index_builds`` / ``index_build_seconds``).
+    #: ``index_builds`` / ``index_build_seconds``), and the
+    #: parallel-execution counters (``parallel_batches`` /
+    #: ``parallel_shards``) with worker-side kernel counters merged in.
     scorer_stats: dict = field(default_factory=dict)
 
     @property
@@ -64,6 +66,12 @@ class RunRecord:
         """Predicates scored through the mask-matrix kernel during the
         run's batched calls."""
         return int(self.scorer_stats.get("masked_predicates", 0))
+
+    @property
+    def parallel_shards(self) -> int:
+        """Predicate shards the run executed on worker processes (0 for
+        serial runs)."""
+        return int(self.scorer_stats.get("parallel_shards", 0))
 
     @property
     def precision(self) -> float:
@@ -90,15 +98,19 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
                   truth_mask: np.ndarray | None = None,
                   outlier_rows: np.ndarray | None = None,
                   scorpion: Scorpion | None = None,
+                  workers: int | None = None,
                   **partitioner_kwargs) -> RunRecord:
     """Run one algorithm on ``problem`` and score its best predicate.
 
     ``table``/``truth_mask``/``outlier_rows`` enable accuracy scoring;
     omit them to record influence and runtime only.  A pre-built
-    ``scorpion`` may be passed to share its cross-``c`` cache.
+    ``scorpion`` may be passed to share its cross-``c`` cache (its own
+    ``workers`` setting then applies); otherwise ``workers`` selects the
+    scorer's sharded-execution process count — influences and counters
+    are identical at any setting, so benches can sweep it freely.
     """
     partitioner = make_partitioner(name, **partitioner_kwargs)
-    scorpion = scorpion or Scorpion(use_cache=False)
+    scorpion = scorpion or Scorpion(use_cache=False, workers=workers)
     scorpion.partitioner = partitioner
     started = time.perf_counter()
     result = scorpion.explain(problem)
@@ -122,19 +134,20 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
 def sweep_c(name: str, problem: ScorpionQuery, c_values: Sequence[float],
             table: Table | None = None, truth_mask: np.ndarray | None = None,
             outlier_rows: np.ndarray | None = None,
-            share_cache: bool = False,
+            share_cache: bool = False, workers: int | None = None,
             **partitioner_kwargs) -> list[RunRecord]:
     """Run one algorithm across a ``c`` sweep (the axis of Figures 9–13).
 
     With ``share_cache`` the runs share a Scorpion instance so DT reuses
     partitions and merger warm starts (the Section 8.3.3 experiment).
+    ``workers`` applies to every run (see :func:`run_algorithm`).
     """
-    scorpion = Scorpion(use_cache=True) if share_cache else None
+    scorpion = Scorpion(use_cache=True, workers=workers) if share_cache else None
     records = []
     for c in c_values:
         records.append(run_algorithm(
             name, problem.with_c(c), table=table, truth_mask=truth_mask,
-            outlier_rows=outlier_rows, scorpion=scorpion,
+            outlier_rows=outlier_rows, scorpion=scorpion, workers=workers,
             **partitioner_kwargs))
     return records
 

@@ -1,0 +1,175 @@
+"""The sharded scoring executor: a persistent worker pool plus the
+shared-memory segments its workers score against.
+
+One :class:`ShardedScoringExecutor` serves one scorer/problem: the
+scorer builds its :class:`~repro.parallel.kernel.KernelSpec` once,
+:meth:`start` places the big arrays in shared memory and spins up the
+pool (each worker attaches and rebuilds the kernel in its initializer),
+and every parallel ``score_batch`` call turns into one :meth:`run` of
+routed shards.  Results come back in submission order, so reassembly in
+the scorer is a plain ``zip`` and the output is bit-for-bit identical
+to the serial chunk loop.
+
+Failure policy: any pool-level failure — a worker crash
+(``BrokenProcessPool``), a shard exceeding ``task_timeout``, a
+submission error — aborts the pool (terminating live workers so a hung
+shard cannot hang the caller) and surfaces as one
+:class:`~repro.errors.ParallelError`.  The scorer catches it, warns,
+and permanently falls back to serial scoring for that instance; results
+are therefore always produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Sequence
+
+from repro.errors import ParallelError
+from repro.parallel import worker as _worker
+from repro.parallel.kernel import KernelSpec
+from repro.parallel.shm import destroy_segment
+
+#: Per-shard wall-clock budget before the pool is declared hung
+#: (override via ``SCORPION_WORKER_TIMEOUT``; ``0`` disables).
+DEFAULT_TASK_TIMEOUT = 300.0
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Resolve the ``workers`` knob to an effective process count.
+
+    ``None`` reads ``SCORPION_WORKERS`` (absent → 1, today's serial
+    path); ``0`` means one worker per CPU (``os.cpu_count()``);
+    positive integers are taken as-is.  ``1`` means serial in-process
+    scoring — no pool, no shared memory.
+    """
+    if workers is None:
+        raw = os.environ.get("SCORPION_WORKERS", "").strip()
+        workers = int(raw) if raw else 1
+    workers = int(workers)
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ParallelError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _resolve_timeout(task_timeout: float | None) -> float | None:
+    if task_timeout is None:
+        raw = os.environ.get("SCORPION_WORKER_TIMEOUT", "").strip()
+        task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
+    return task_timeout if task_timeout > 0 else None
+
+
+class ShardedScoringExecutor:
+    """Persistent process pool scoring predicate shards against a
+    shared-memory problem image.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (already resolved; must be >= 2 to be
+        useful, but 1 is accepted for testing).
+    task_timeout:
+        Per-shard result deadline in seconds (None → the
+        ``SCORPION_WORKER_TIMEOUT`` environment variable, else
+        :data:`DEFAULT_TASK_TIMEOUT`; ``<= 0`` waits forever).
+    """
+
+    def __init__(self, workers: int, task_timeout: float | None = None):
+        self.workers = int(workers)
+        self.task_timeout = _resolve_timeout(task_timeout)
+        self._pool: ProcessPoolExecutor | None = None
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def start(self, spec: KernelSpec,
+              segments: Sequence[shared_memory.SharedMemory]) -> None:
+        """Take ownership of ``segments`` and spin up the worker pool.
+
+        Workers rebuild the kernel in their initializer, so the first
+        shard a worker receives pays no per-shard setup.  ``fork`` is
+        preferred when available (no module re-import, instant
+        inheritance of the spec); the spec is fully picklable either
+        way, so ``spawn``-only platforms work identically.
+        """
+        self._segments.extend(segments)
+        if self._pool is not None:
+            raise ParallelError("executor already started")
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker.initialize,
+                initargs=(spec,),
+            )
+        except Exception as exc:
+            self.close()
+            raise ParallelError(f"could not start worker pool: {exc}") from exc
+
+    def register_segment(self, shm: shared_memory.SharedMemory) -> None:
+        """Adopt a later-created segment (e.g. an index attribute pack)
+        so it is unlinked with the rest on :meth:`close`."""
+        self._segments.append(shm)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[tuple]) -> list[tuple]:
+        """Execute ``run_shard(*task)`` for every task; results are
+        returned in submission order.  Raises :class:`ParallelError` on
+        any crash, timeout, or submission failure (after aborting the
+        pool, so a hung worker cannot hang the caller)."""
+        if self._pool is None:
+            raise ParallelError("executor not started")
+        try:
+            futures = [self._pool.submit(_worker.run_shard, *task)
+                       for task in tasks]
+        except Exception as exc:
+            self._abort()
+            raise ParallelError(f"could not submit shards: {exc}") from exc
+        results = []
+        try:
+            for future in futures:
+                results.append(future.result(timeout=self.task_timeout))
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            self._abort()
+            raise ParallelError(f"worker shard failed: {exc!r}") from exc
+        return results
+
+    # ------------------------------------------------------------------
+    def _abort(self) -> None:
+        """Tear the pool down without waiting on (possibly hung) workers."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        # ProcessPoolExecutor has no kill switch; terminate stragglers so
+        # a hung shard cannot outlive the fallback decision.
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every owned segment (idempotent).
+        Safe to call on a broken executor; live workers are terminated
+        first so shared memory is never unlinked out from under a
+        running shard on platforms where that matters."""
+        self._abort()
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            destroy_segment(shm)

@@ -1,0 +1,140 @@
+"""Shared-memory array packing for the parallel scoring executor.
+
+A *segment* is one :class:`multiprocessing.shared_memory.SharedMemory`
+block holding several numpy arrays back to back (64-byte aligned), plus
+a picklable :class:`SegmentSpec` describing how to find each array
+inside it.  The parent process packs the scorer's big read-only arrays
+(per-tuple states, attribute columns, prefix-aggregate index views)
+once per problem; each worker attaches the block by name and maps the
+same physical pages, so shipping a scoring shard to a worker costs zero
+array copies and zero array re-pickling.
+
+Worker-side views are marked read-only: the scoring kernels never write
+to their inputs, and a stray write through a shared mapping would
+corrupt every other worker's view of the problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Mapping
+
+import numpy as np
+
+#: Byte alignment of each array inside a segment (cache-line sized, and
+#: a multiple of every numpy itemsize used here).
+ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one array lives inside a segment."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """A shared-memory block's name plus the arrays packed into it.
+
+    Picklable and tiny — this is what travels to workers (through pool
+    ``initargs`` or inside a shard task); the array bytes themselves
+    never leave the shared block.
+    """
+
+    name: str
+    size: int
+    arrays: tuple[ArraySpec, ...]
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // ALIGNMENT) * ALIGNMENT
+
+
+def create_segment(arrays: Mapping[str, np.ndarray],
+                   ) -> tuple[shared_memory.SharedMemory, SegmentSpec]:
+    """Copy ``arrays`` into one freshly created shared-memory block.
+
+    Returns the owning :class:`SharedMemory` (the caller must keep it
+    alive and eventually ``close()`` + ``unlink()`` it) and the spec
+    workers use to attach.  This is the single copy the executor pays
+    per problem; everything downstream is zero-copy.
+    """
+    layout: list[tuple[str, np.ndarray, int]] = []
+    offset = 0
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        layout.append((key, array, offset))
+        offset += array.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    specs = []
+    for key, array, off in layout:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf,
+                          offset=off)
+        view[...] = array
+        specs.append(ArraySpec(key, array.dtype.str, tuple(array.shape), off))
+        del view  # drop the buffer reference so close()/unlink() can proceed
+    return shm, SegmentSpec(shm.name, shm.size, tuple(specs))
+
+
+def tracker_pid() -> int | None:
+    """PID of this process's resource-tracker process (None if one
+    cannot be started).  Forked children inherit the parent's tracker;
+    spawned children run their own — which is exactly the distinction
+    :func:`attach_segment` needs."""
+    tracker = resource_tracker._resource_tracker
+    try:
+        tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker startup failure
+        return None
+    return getattr(tracker, "_pid", None)
+
+
+def attach_segment(spec: SegmentSpec, owner_tracker_pid: int | None = None,
+                   ) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach a segment by name and map its arrays as read-only views.
+
+    The returned :class:`SharedMemory` must stay referenced as long as
+    any view is in use (the mapping closes when it is collected).
+
+    ``owner_tracker_pid`` is the resource-tracker PID of the owning
+    (parent) process.  POSIX ``SharedMemory`` registers with the
+    tracker even on attach, so a worker must undo that registration —
+    but only when it runs its *own* tracker (``spawn`` children), where
+    worker exit would otherwise unlink a block the parent still uses.
+    Forked children share the parent's tracker, where the registration
+    is an idempotent no-op and unregistering would strip the parent's
+    own entry instead.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    if owner_tracker_pid is None or tracker_pid() != owner_tracker_pid:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    views: dict[str, np.ndarray] = {}
+    for array in spec.arrays:
+        view = np.ndarray(array.shape, dtype=np.dtype(array.dtype),
+                          buffer=shm.buf, offset=array.offset)
+        view.flags.writeable = False
+        views[array.key] = view
+    return shm, views
+
+
+def destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort close + unlink of an owned segment (idempotent)."""
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - platform-specific teardown races
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:  # pragma: no cover - platform-specific teardown races
+        pass

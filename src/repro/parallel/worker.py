@@ -1,0 +1,79 @@
+"""Worker-process entry points for the sharded scoring executor.
+
+The process pool initializes each worker exactly once with
+:func:`initialize` (rebuilding the kernel-only scorer around the
+shared-memory views) and then feeds it :func:`run_shard` calls.  A
+shard is one ``batch_chunk``-sized slice of a ``score_batch`` call,
+already routed by the parent's :class:`~repro.index.IndexPlanner`:
+
+* ``"masked"`` shards carry the predicates themselves; the worker
+  builds the mask matrix with its own labeled evaluator and runs the
+  scatter-add kernel — exactly the serial code path, so the returned
+  influences are bit-for-bit what the parent would have computed;
+* ``"indexed"`` shards carry only the single range clauses (the
+  predicates stay in the parent) plus the specs of any pre-built index
+  attributes the worker has not installed yet.
+
+Each call returns ``(influences, worker_counters)`` where the counters
+are the kernel-internal :class:`ScorerStats` increments
+(``incremental_deltas`` / ``full_recomputes``) the parent merges back,
+keeping aggregate counters identical to a serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.parallel.kernel import (
+    IndexAttributeSpec,
+    KernelSpec,
+    build_worker_scorer,
+    install_index_attribute,
+)
+
+
+@dataclass
+class _WorkerState:
+    scorer: object
+    #: The owning process's resource-tracker PID (attach bookkeeping).
+    owner_tracker_pid: int | None
+    #: Attached SharedMemory blocks — referenced for the process's
+    #: lifetime so the zero-copy views stay mapped.
+    segments: list = field(default_factory=list)
+    installed_attrs: set = field(default_factory=set)
+
+
+_STATE: _WorkerState | None = None
+
+
+def initialize(spec: KernelSpec) -> None:
+    """Pool initializer: rebuild the batch kernel in this process."""
+    global _STATE
+    scorer, segments = build_worker_scorer(spec)
+    _STATE = _WorkerState(scorer=scorer, owner_tracker_pid=spec.tracker_pid,
+                          segments=segments)
+
+
+def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
+              attr_specs: tuple[IndexAttributeSpec, ...],
+              ) -> tuple[np.ndarray, dict[str, float]]:
+    """Score one routed shard; see the module docstring."""
+    state = _STATE
+    assert state is not None, "worker used before initialize()"
+    scorer = state.scorer
+    for attr_spec in attr_specs:
+        if attr_spec.attribute not in state.installed_attrs:
+            state.segments.append(install_index_attribute(
+                scorer, attr_spec, state.owner_tracker_pid))
+            state.installed_attrs.add(attr_spec.attribute)
+    scorer.stats.reset()
+    if kind == "masked":
+        values = scorer._score_masked_chunk(items, ignore_holdouts)
+    elif kind == "indexed":
+        values = scorer._score_clause_shard(items, ignore_holdouts)
+    else:  # pragma: no cover - guarded by the executor's task builder
+        raise ValueError(f"unknown shard kind {kind!r}")
+    return np.asarray(values, dtype=np.float64), scorer.stats.worker_counters()

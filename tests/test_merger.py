@@ -162,6 +162,65 @@ class TestAdoptionVerification:
             start_influence = scorer.score(start.predicate)
             assert merged[0].influence >= start_influence - 1e-9
 
+    def test_adoptions_verified_through_batches(self):
+        # A round's winning merges are exact-checked via one score_batch
+        # call across expansion starts: no adoption check ever reaches
+        # the scalar mask path (every scalar score() call downstream of
+        # run() is a cache hit on a batch-computed value).
+        problem = avg_problem(n_per_group=300)
+        scorer = InfluenceScorer(problem)
+        candidates = dt_candidates(problem, scorer)
+        merger = Merger(scorer, problem.domain,
+                        params=MergerParams(expand_fraction=1.0))
+        before = scorer.stats.mask_scores
+        batches_before = scorer.stats.batch_calls
+        merged = merger.run(candidates)
+        assert merged
+        per_batch_mask_scores = (scorer.stats.mask_scores - before)
+        # Scalar-path mask evaluations would show up as mask_scores not
+        # attributable to batch chunks; with caching on there are none.
+        assert scorer.stats.cache_hits > 0
+        assert scorer.stats.batch_calls > batches_before
+        assert per_batch_mask_scores == scorer.stats.masked_predicates
+
+    def test_lockstep_equals_uncached_run(self):
+        # Accept/reject decisions depend only on influence values, which
+        # score_batch reproduces bit for bit — so a run without the memo
+        # cache (every verification recomputed) lands on identical
+        # predicates and influences.
+        problem = avg_problem(n_per_group=300)
+        cached_scorer = InfluenceScorer(problem)
+        uncached_scorer = InfluenceScorer(problem, cache_scores=False)
+        candidates = dt_candidates(problem, cached_scorer)
+        params = MergerParams(expand_fraction=1.0, use_approximation=False)
+        cached = Merger(cached_scorer, problem.domain, params=params).run(
+            candidates)
+        uncached = Merger(uncached_scorer, problem.domain, params=params).run(
+            dt_candidates(problem, uncached_scorer))
+        assert [sp.predicate for sp in cached] == \
+            [sp.predicate for sp in uncached]
+        assert [sp.influence for sp in cached] == \
+            [sp.influence for sp in uncached]
+
+    def test_parallel_scorer_preserves_merger_output(self):
+        problem = avg_problem(n_per_group=300)
+        serial_scorer = InfluenceScorer(problem)
+        parallel_scorer = InfluenceScorer(problem, workers=2, batch_chunk=8)
+        try:
+            candidates = dt_candidates(problem, serial_scorer)
+            params = MergerParams(expand_fraction=1.0)
+            serial = Merger(serial_scorer, problem.domain, params=params).run(
+                candidates)
+            parallel = Merger(parallel_scorer, problem.domain,
+                              params=params).run(
+                dt_candidates(problem, parallel_scorer))
+            assert [sp.predicate for sp in serial] == \
+                [sp.predicate for sp in parallel]
+            assert [sp.influence for sp in serial] == \
+                [sp.influence for sp in parallel]
+        finally:
+            parallel_scorer.close()
+
 
 class TestSeeds:
     def test_seeded_run_expands_seeds(self):

@@ -1,0 +1,330 @@
+"""Parallel-vs-serial equivalence for the sharded scoring executor.
+
+The contract (see :mod:`repro.parallel`): ``score_batch`` with
+``workers=N`` returns bit-for-bit the influences of ``workers=1`` on
+every aggregate/predicate shape, merged stats counters match a serial
+run's, pool failures (crash or timeout) fall back to serial scoring
+with a warning instead of hanging, and the pool's shared-memory
+segments are unlinked on close.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.aggregates import Avg, Median, StdDev, Sum, Variance
+from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.errors import ParallelError
+from repro.parallel import ShardedScoringExecutor, resolve_workers
+from repro.predicates.clause import RangeClause, SetClause
+from repro.predicates.predicate import Predicate
+from repro.query.groupby import GroupByQuery
+
+from tests.conftest import planted_sum_table
+
+#: Integer counters that must be identical between a serial and a
+#: parallel run of the same batches (timing counters and the
+#: parallel-only shard counters are excluded by design).
+COMPARED_COUNTERS = (
+    "predicate_scores", "mask_scores", "incremental_deltas",
+    "full_recomputes", "cache_hits", "batch_calls", "batch_predicates",
+    "largest_batch", "indexed_predicates", "masked_predicates",
+    "index_builds",
+)
+
+
+def make_problem(aggregate, c: float = 0.5, **kwargs) -> ScorpionQuery:
+    table, outliers, holdouts = planted_sum_table()
+    return ScorpionQuery(table, GroupByQuery("g", aggregate, "value"),
+                         outliers=outliers, holdouts=holdouts,
+                         error_vectors=+1.0, c=c, **kwargs)
+
+
+def routed_batch(n: int = 24) -> list[Predicate]:
+    """Single continuous ranges — the prefix-index fast-path shape."""
+    return [Predicate([RangeClause("a1", 4.0 * i, 4.0 * i + 22.0,
+                                   include_hi=bool(i % 2))])
+            for i in range(n)]
+
+
+def masked_batch(n: int = 12) -> list[Predicate]:
+    """Conjunctions and set clauses — mask-matrix kernel shapes,
+    including empty-match and whole-group-deletion edge cases."""
+    batch = [Predicate([RangeClause("a1", 8.0 * i, 8.0 * i + 30.0),
+                        SetClause("state", ["TX", "CA"])])
+             for i in range(n)]
+    batch.append(Predicate([SetClause("state", ["ZZ"])]))  # matches nothing
+    batch.append(Predicate.true())                         # deletes groups
+    return batch
+
+
+def mixed_batch() -> list[Predicate]:
+    batch = routed_batch() + masked_batch()
+    batch.append(batch[0])  # duplicate submission
+    return batch
+
+
+def assert_parallel_equals_serial(problem, batch, workers: int,
+                                  batch_chunk: int = 8,
+                                  ignore_holdouts: bool = False,
+                                  **scorer_kwargs) -> None:
+    serial = InfluenceScorer(problem, cache_scores=False, workers=1,
+                             **scorer_kwargs)
+    expected = serial.score_batch(batch, ignore_holdouts=ignore_holdouts)
+    parallel = InfluenceScorer(problem, cache_scores=False, workers=workers,
+                               batch_chunk=batch_chunk, **scorer_kwargs)
+    try:
+        got = parallel.score_batch(batch, ignore_holdouts=ignore_holdouts)
+        np.testing.assert_array_equal(got, expected)
+        assert parallel.stats.parallel_shards > 0, "pool was never used"
+        for name in ("incremental_deltas", "full_recomputes",
+                     "indexed_predicates", "masked_predicates",
+                     "index_builds"):
+            assert getattr(parallel.stats, name) == getattr(serial.stats, name), name
+    finally:
+        parallel.close()
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("aggregate", [Sum, Avg, StdDev, Variance])
+    def test_aggregates_mixed_shapes(self, aggregate, workers):
+        assert_parallel_equals_serial(make_problem(aggregate()),
+                                      mixed_batch(), workers)
+
+    @pytest.mark.parametrize("aggregate", [Sum, StdDev])
+    def test_mask_kernel_only(self, aggregate):
+        # use_index=False forces every shard through the mask kernel.
+        assert_parallel_equals_serial(make_problem(aggregate()),
+                                      mixed_batch(), workers=2,
+                                      use_index=False)
+
+    def test_ignore_holdouts(self):
+        assert_parallel_equals_serial(make_problem(Sum()), mixed_batch(),
+                                      workers=2, ignore_holdouts=True)
+
+    def test_mean_perturbation(self):
+        assert_parallel_equals_serial(make_problem(Avg(), perturbation="mean"),
+                                      mixed_batch(), workers=2)
+
+    def test_black_box_aggregate(self):
+        # Median has no incremental removal: shards recompute per
+        # predicate from the shared agg-value views.
+        assert_parallel_equals_serial(make_problem(Median()),
+                                      masked_batch() + routed_batch(8),
+                                      workers=2)
+
+    def test_fractional_c(self):
+        assert_parallel_equals_serial(make_problem(Sum(), c=0.3),
+                                      mixed_batch(), workers=2)
+
+    def test_counters_match_serial_exactly(self):
+        problem = make_problem(Sum())
+        batch = mixed_batch()
+        serial = InfluenceScorer(problem, cache_scores=False, workers=1)
+        parallel = InfluenceScorer(problem, cache_scores=False, workers=2,
+                                   batch_chunk=8)
+        try:
+            serial.score_batch(batch)
+            serial.score_batch(batch[:10])
+            parallel.score_batch(batch)
+            parallel.score_batch(batch[:10])
+            for name in COMPARED_COUNTERS:
+                assert getattr(parallel.stats, name) == \
+                    getattr(serial.stats, name), name
+            assert parallel.stats.parallel_batches >= 1
+            assert serial.stats.parallel_batches == 0
+        finally:
+            parallel.close()
+
+    def test_shared_cache_coherence(self):
+        # Batch results must populate the same memo cache score() reads.
+        problem = make_problem(Sum())
+        scorer = InfluenceScorer(problem, workers=2, batch_chunk=8)
+        try:
+            batch = mixed_batch()
+            values = scorer.score_batch(batch)
+            before = scorer.stats.cache_hits
+            assert scorer.score(batch[0]) == values[0]
+            assert scorer.stats.cache_hits == before + 1
+        finally:
+            scorer.close()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["dt", "mc"])
+    def test_scorpion_explanations_identical(self, algorithm):
+        problem = make_problem(Sum())
+        serial = Scorpion(algorithm=algorithm, batch_chunk=16,
+                          workers=1).explain(problem)
+        parallel = Scorpion(algorithm=algorithm, batch_chunk=16,
+                            workers=2).explain(problem)
+        assert [e.predicate for e in parallel.explanations] == \
+            [e.predicate for e in serial.explanations]
+        assert [e.influence for e in parallel.explanations] == \
+            [e.influence for e in serial.explanations]
+        for name in COMPARED_COUNTERS:
+            assert parallel.scorer_stats[name] == serial.scorer_stats[name], name
+
+
+class TestFallback:
+    def test_executor_failure_falls_back_to_serial(self, monkeypatch):
+        problem = make_problem(Sum())
+        batch = mixed_batch()
+        expected = InfluenceScorer(problem, cache_scores=False,
+                                   workers=1).score_batch(batch)
+        scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
+                                 batch_chunk=8)
+        monkeypatch.setattr(
+            ShardedScoringExecutor, "run",
+            lambda self, tasks: (_ for _ in ()).throw(
+                ParallelError("injected shard failure")))
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            got = scorer.score_batch(batch)
+        np.testing.assert_array_equal(got, expected)
+        assert not scorer.uses_parallel
+        assert scorer.stats.parallel_shards == 0
+        # Later batches stay serial without further warnings.
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            np.testing.assert_array_equal(scorer.score_batch(batch), expected)
+        scorer.close()
+
+    def test_worker_crash_falls_back_to_serial(self):
+        problem = make_problem(Sum())
+        batch = mixed_batch()
+        expected = InfluenceScorer(problem, cache_scores=False,
+                                   workers=1).score_batch(batch)
+        scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
+                                 batch_chunk=8)
+        np.testing.assert_array_equal(scorer.score_batch(batch), expected)
+        pool = scorer._executor._pool
+        for process in list(pool._processes.values()):
+            os.kill(process.pid, signal.SIGKILL)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            got = scorer.score_batch(batch)
+        np.testing.assert_array_equal(got, expected)
+        assert not scorer.uses_parallel
+        scorer.close()
+
+
+class TestLifecycle:
+    def test_serial_scorer_never_starts_a_pool(self):
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False,
+                                 workers=1)
+        scorer.score_batch(mixed_batch())
+        assert scorer.workers == 1
+        assert scorer._executor is None
+        assert scorer.stats.parallel_shards == 0
+
+    def test_single_shard_batches_skip_the_pool(self):
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False,
+                                 workers=2, batch_chunk=4096)
+        try:
+            scorer.score_batch(routed_batch(6))
+            assert scorer._executor is None
+            assert scorer.stats.parallel_shards == 0
+        finally:
+            scorer.close()
+
+    def test_close_unlinks_shared_memory(self):
+        from multiprocessing import shared_memory
+
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False,
+                                 workers=2, batch_chunk=8)
+        scorer.score_batch(mixed_batch())
+        name = scorer._executor._segments[0].name
+        scorer.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        # close() is idempotent and the scorer still scores (serially or
+        # by restarting the pool).
+        scorer.close()
+        assert len(scorer.score_batch(routed_batch(4))) == 4
+        scorer.close()
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("SCORPION_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelError):
+            resolve_workers(-1)
+
+    def test_scorer_reads_env(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_WORKERS", "2")
+        scorer = InfluenceScorer(make_problem(Sum()))
+        assert scorer.workers == 2
+        assert scorer.uses_parallel
+        scorer.close()
+
+
+class TestStatsConsistency:
+    """The scorer_stats double-reset hazard (monotonic index-build
+    accounting): resets start a fresh window and can never resurrect or
+    clobber already-counted work."""
+
+    def test_reset_does_not_resurrect_index_builds(self):
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False)
+        scorer.score_batch(routed_batch(4))
+        assert scorer.stats.index_builds == 1
+        scorer.reset_stats()
+        # Same attribute again: already built, nothing new to count.
+        scorer.score_batch(routed_batch(4))
+        assert scorer.stats.index_builds == 0
+        assert scorer.stats.index_build_seconds == 0.0
+        # Re-declaring the built attribute must not re-count it either.
+        scorer.prepare_index(["a1"])
+        assert scorer.stats.index_builds == 0
+
+    def test_new_builds_count_after_reset(self):
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False)
+        scorer.prepare_index(["a1"])
+        assert scorer.stats.index_builds == 1
+        scorer.reset_stats()
+        scorer.prepare_index()  # builds the remaining attributes
+        assert scorer.stats.index_builds == len(
+            scorer._index.attributes_built) - 1
+
+    def test_reset_clears_parallel_counters(self):
+        scorer = InfluenceScorer(make_problem(Sum()), cache_scores=False,
+                                 workers=2, batch_chunk=8)
+        try:
+            scorer.score_batch(mixed_batch())
+            assert scorer.stats.parallel_shards > 0
+            scorer.reset_stats()
+            assert scorer.stats.parallel_batches == 0
+            assert scorer.stats.parallel_shards == 0
+        finally:
+            scorer.close()
+
+    def test_worker_counter_merge_arithmetic(self):
+        from repro.core.influence import ScorerStats
+
+        stats = ScorerStats()
+        stats.incremental_deltas = 5
+        window = ScorerStats()
+        window.incremental_deltas = 3
+        window.full_recomputes = 2
+        stats.merge_worker_counters(window.worker_counters())
+        assert stats.incremental_deltas == 8
+        assert stats.full_recomputes == 2
+        assert set(window.worker_counters()) == set(ScorerStats.WORKER_MERGED)
