@@ -1,26 +1,32 @@
 """Prefix-aggregate index vs mask-matrix scoring (the index tentpole).
 
-Single-clause range predicates are the hot shape of NAIVE's opening
-enumeration, MC's level-1 cells, DT leaf ranges, and Merger expansion
-starts.  This bench scores identical single-range batches three ways —
-scalar ``score()``, the batch mask-matrix kernel (``use_index=False``),
-and the prefix-aggregate index path — across group sizes and on both
-index tiers:
+Single-clause ranges, single set clauses, and 2-clause conjunctions are
+the hot shapes of NAIVE's enumeration, MC's level-1 cells, DT leaves,
+and Merger expansions.  This bench scores identical batches three ways
+— scalar ``score()``, the batch mask-matrix kernel (``use_index=False``),
+and the planner-routed index path — across group sizes and on every
+index tier:
 
-* *gather tier* — float aggregate values (SUM over SYNTH's float
-  column), removed states gathered from the sorted slice in ascending
-  row order;
-* *prefix tier* — integer aggregate values (SUM over an integer copy of
-  SYNTH), removed states as O(1) exact prefix-sum differences.
+* *gather tier* — single ranges over float aggregate values (SUM over
+  SYNTH's float column), removed states gathered from the sorted slice
+  in ascending row order;
+* *prefix tier* — single ranges over integer aggregate values (SUM over
+  an integer copy of SYNTH), removed states as O(1) exact prefix-sum
+  differences;
+* *bucket tier* — single set clauses over a discrete attribute with
+  integer aggregate values, removed states as exact per-bucket sums
+  (``bucket-gather`` is the same shape on float values);
+* *conjunction tier* — 2-clause range×set conjunctions, the rarer
+  clause's slice/buckets probed and mask-tested.
 
 All three result vectors must match exactly (the equivalence contract;
-always asserted).  The wall-clock expectation — the acceptance bar of
-the index PR — is that at ≥2000 tuples/group the index path beats the
-mask-matrix path outright: the mask kernel touches every labeled row
-per predicate while the index touches two binary searches plus the
-matched rows (or nothing but a prefix subtraction).  Timing assertions
-are skipped when ``SCORPION_BENCH_PERF_ASSERT=0`` (CI smoke runs keep
-only the equality checks).
+always asserted), and the routed tier is checked through the
+``scorer_stats`` counters.  The wall-clock expectation — the acceptance
+bars of the index PRs — is that at ≥2000 tuples/group the index path
+beats the mask-matrix path outright on every tier, and by ≥2× on the
+discrete bucket tier.  Timing assertions are skipped when
+``SCORPION_BENCH_PERF_ASSERT=0`` (CI smoke runs keep only the equality
+checks).
 """
 
 import os
@@ -32,9 +38,10 @@ from repro.aggregates import Sum
 from repro.core.influence import InfluenceScorer
 from repro.core.problem import ScorpionQuery
 from repro.eval import format_table
-from repro.predicates.clause import RangeClause
+from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
 from repro.query.groupby import GroupByQuery
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
 from repro.table.table import Table
 
 from benchmarks.conftest import (
@@ -50,6 +57,11 @@ GROUP_SIZES = (500, 2000, 5000) if SCALE == "paper" else (500, 2000)
 #: Group sizes where the index path must beat the mask-matrix path
 #: outright (the ISSUE 3 acceptance bar: ≥2000 tuples/group).
 ASSERT_GROUP_SIZES = tuple(g for g in GROUP_SIZES if g >= 2000)
+#: The ISSUE 5 acceptance bar: the discrete bucket tier must beat the
+#: mask kernel by this factor at ≥2000 tuples/group.
+BUCKET_SPEEDUP_BAR = 2.0
+#: Distinct values of the bench's discrete attribute.
+DISCRETE_CARDINALITY = 24
 #: Scalar scoring is O(batch · labeled rows); cap its share of the bench.
 SCALAR_BATCH_CAP = 256
 
@@ -65,6 +77,71 @@ def _range_batch(n: int, attribute: str = "a1"):
         batch.append(Predicate([
             RangeClause(attribute, lo, lo + width, include_hi=bool(i % 2))]))
     return batch
+
+
+def _set_batch(n: int, attribute: str = "ac"):
+    """Single set clauses with 1–4 wanted values (NAIVE's discrete
+    enumeration shape), occasionally naming an absent value."""
+    rng = np.random.default_rng(13)
+    codes = [f"c{i}" for i in range(DISCRETE_CARDINALITY)] + ["absent"]
+    batch = []
+    for i in range(n):
+        size = 1 + i % 4
+        batch.append(Predicate([
+            SetClause(attribute, rng.choice(codes, size=size, replace=False))]))
+    return batch
+
+
+def _conj_batch(n: int):
+    """2-clause range×set conjunctions with selectivity mixed so either
+    side ends up the rarer (probe) one."""
+    rng = np.random.default_rng(17)
+    codes = [f"c{i}" for i in range(DISCRETE_CARDINALITY)]
+    batch = []
+    for i in range(n):
+        lo = rng.uniform(0.0, 90.0)
+        if i % 2:
+            # Wide range, quarter-domain set: the set side probes.
+            width = rng.uniform(40.0, 100.0)
+            size = DISCRETE_CARDINALITY // 4
+        else:
+            # Narrow range, small-to-medium set: the range side probes.
+            width = rng.uniform(2.0, 25.0)
+            size = 1 + i % 3
+        batch.append(Predicate([
+            RangeClause("a1", lo, lo + width),
+            SetClause("ac", rng.choice(codes, size=size, replace=False)),
+        ]))
+    return batch
+
+
+def _discrete_problem(tuples_per_group: int, *, integer_values: bool,
+                      seed: int = 0) -> ScorpionQuery:
+    """A 10-group SUM workload with one continuous and one discrete
+    explanation attribute (SYNTH has no discrete ``A_rest``, so the
+    discrete/conjunction tiers get their own planted table)."""
+    rng = np.random.default_rng(seed)
+    groups = [f"g{i}" for i in range(10)]
+    n = tuples_per_group * len(groups)
+    g = np.repeat(groups, tuples_per_group)
+    a1 = rng.uniform(0.0, 100.0, n)
+    ac = rng.choice([f"c{i}" for i in range(DISCRETE_CARDINALITY)], n)
+    if integer_values:
+        av = rng.integers(1, 50, n).astype(np.float64)
+    else:
+        av = np.abs(rng.normal(10.0, 5.0, n)) + 0.25
+    hot = (np.isin(g, groups[:5]) & (ac == "c0") & (a1 >= 40) & (a1 <= 60))
+    av[hot] += 40.0 if integer_values else 40.5
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("ac", ColumnKind.DISCRETE),
+        ColumnSpec("av", ColumnKind.CONTINUOUS),
+    ])
+    table = Table.from_columns(schema, {"g": g, "a1": a1, "ac": ac, "av": av})
+    return ScorpionQuery(table, GroupByQuery("g", Sum(), "av"),
+                         outliers=groups[:5], holdouts=groups[5:],
+                         error_vectors=+1.0, c=0.5)
 
 
 def _integer_sum_problem(problem: ScorpionQuery) -> ScorpionQuery:
@@ -84,9 +161,12 @@ def _integer_sum_problem(problem: ScorpionQuery) -> ScorpionQuery:
     )
 
 
-def _time_paths(problem, batch, tier: str):
+def _time_paths(problem, batch, tier: str, prepare=("a1",),
+                routing_counter: str = "indexed_ranges"):
     """Score one batch through all three paths; returns the report row,
-    the json row, and the mask/index second pair."""
+    the json row, and the index-vs-mask speedup.  ``routing_counter``
+    names the ``scorer_stats`` tier counter every unique predicate of
+    the batch must land in."""
     scalar_batch = batch[:SCALAR_BATCH_CAP]
     scalar_scorer = InfluenceScorer(problem, cache_scores=False,
                                     use_index=False)
@@ -101,7 +181,7 @@ def _time_paths(problem, batch, tier: str):
     mask_time = time.perf_counter() - started
 
     index_scorer = InfluenceScorer(problem, cache_scores=False)
-    index_scorer.prepare_index(["a1"])
+    index_scorer.prepare_index(prepare)
     build_time = index_scorer.stats.index_build_seconds
     started = time.perf_counter()
     via_index = index_scorer.score_batch(batch)
@@ -111,6 +191,7 @@ def _time_paths(problem, batch, tier: str):
     np.testing.assert_array_equal(via_index, via_mask)
     np.testing.assert_array_equal(via_index[:len(scalar)], scalar)
     assert index_scorer.stats.indexed_predicates == len(set(batch))
+    assert getattr(index_scorer.stats, routing_counter) == len(set(batch))
 
     group_size = problem.outlier_results[0].group_size
     speedup = mask_time / index_time if index_time > 0 else float("inf")
@@ -139,15 +220,32 @@ def _time_paths(problem, batch, tier: str):
 
 
 def _experiment():
-    batch = _range_batch(BATCH_SIZE)
+    range_batch = _range_batch(BATCH_SIZE)
+    set_batch = _set_batch(BATCH_SIZE)
+    conj_batch = _conj_batch(BATCH_SIZE)
     rows, json_rows = [], []
     speedups = {}
     for group_size in GROUP_SIZES:
         dataset = synth_dataset(2, "easy", tuples_per_group=group_size)
         float_problem = dataset.scorpion_query(c=0.5)
-        for tier, problem in (("gather/sum", float_problem),
-                              ("prefix/sum", _integer_sum_problem(float_problem))):
-            row, json_row, speedup = _time_paths(problem, batch, tier)
+        int_discrete = _discrete_problem(group_size, integer_values=True)
+        float_discrete = _discrete_problem(group_size, integer_values=False)
+        cases = (
+            ("gather/sum", float_problem, range_batch,
+             ("a1",), "indexed_ranges"),
+            ("prefix/sum", _integer_sum_problem(float_problem), range_batch,
+             ("a1",), "indexed_ranges"),
+            ("bucket/sum", int_discrete, set_batch,
+             ("ac",), "indexed_sets"),
+            ("bucket-gather/sum", float_discrete, set_batch,
+             ("ac",), "indexed_sets"),
+            ("conj/sum", int_discrete, conj_batch,
+             ("a1", "ac"), "indexed_conjunctions"),
+        )
+        for tier, problem, batch, prepare, counter in cases:
+            row, json_row, speedup = _time_paths(
+                problem, batch, tier, prepare=prepare,
+                routing_counter=counter)
             rows.append(row)
             json_rows.append(json_row)
             speedups[(tier, group_size)] = speedup
@@ -158,20 +256,23 @@ def test_index_beats_mask_matrix(benchmark):
     rows, json_rows, speedups = run_once(benchmark, _experiment)
     emit_report("prefix_index", format_table(
         "Prefix-aggregate index vs mask-matrix scoring "
-        f"(single-range predicates, batch {BATCH_SIZE}, 10 groups)",
+        f"(range / set / conjunction batches of {BATCH_SIZE}, 10 groups)",
         ["tier", "tuples/group", "batch", "scalar ms*", "mask ms",
          "index ms", "build ms", "index speedup"], rows)
         + f"\n* scalar timed on the first {SCALAR_BATCH_CAP} predicates")
     emit_bench_json("prefix_index", {
-        "description": "single-clause range predicates: scalar vs "
-                       "mask-matrix vs prefix-aggregate index "
+        "description": "single-range, single-set, and 2-clause "
+                       "conjunction predicates: scalar vs mask-matrix "
+                       "vs prefix-aggregate index tiers "
                        "(predicates/second; equality asserted)",
         "rows": json_rows,
     })
     if os.environ.get("SCORPION_BENCH_PERF_ASSERT", "1") == "0":
         return
     for (tier, group_size), speedup in speedups.items():
-        if group_size in ASSERT_GROUP_SIZES:
-            assert speedup > 1.0, (
-                f"index path slower than mask path on {tier} at "
-                f"{group_size} tuples/group (speedup {speedup:.2f})")
+        if group_size not in ASSERT_GROUP_SIZES:
+            continue
+        bar = BUCKET_SPEEDUP_BAR if tier.startswith("bucket") else 1.0
+        assert speedup > bar, (
+            f"index path speedup bar missed on {tier} at {group_size} "
+            f"tuples/group (speedup {speedup:.2f} <= {bar})")

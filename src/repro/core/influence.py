@@ -53,21 +53,34 @@ The index fast path
 -------------------
 
 ``score_batch`` consults an :class:`~repro.index.IndexPlanner` before
-building mask matrices: single-clause range predicates over continuous
-labeled attributes (the hot shape NAIVE's 1-clause enumeration, DT leaf
-ranges, MC's per-attribute cells, and Merger expansion starts produce)
-are answered by a lazily built
-:class:`~repro.index.PrefixAggregateIndex` — two binary searches per
-group instead of an O(n) mask row, with per-group removed states coming
-from exact prefix-sum differences (O(1), when the group's states are
-integer-summable) or an ascending-row-order gather of just the matched
-rows (O(log n + k)).  Both tiers reproduce the scalar masked sum bit for
-bit (see :mod:`repro.index.prefix`), so the equivalence contract is
-unchanged; the planner's routing counters (``indexed_predicates`` /
+building mask matrices.  Three predicate shapes are answered by a
+lazily built :class:`~repro.index.PrefixAggregateIndex` instead of an
+O(n) mask row per predicate:
+
+* **single range clauses** over continuous labeled attributes (NAIVE's
+  1-clause enumeration, DT leaf ranges, MC's per-attribute cells,
+  Merger expansion starts) — two binary searches per group, removed
+  states from exact prefix-sum differences (O(1), when the group's
+  states are integer-summable) or an ascending-row-order gather of just
+  the matched rows (O(log n + k));
+* **single set clauses** over factorized discrete labeled attributes —
+  O(|codes|) code-bucket lookups per group, removed states from exact
+  per-bucket sums or the same ascending-row gather (see
+  :mod:`repro.index.discrete`);
+* **2-clause conjunctions** whose attributes both have index views —
+  the planner estimates each side's matched-row total, probes the
+  *rarer* clause's sorted slice or code buckets, and mask-tests only
+  those k rows against the other clause.
+
+Every tier reproduces the scalar masked sum bit for bit (see
+:mod:`repro.index.prefix`), so the equivalence contract is unchanged;
+the planner's routing counters (``indexed_predicates`` with its
+per-tier split ``indexed_ranges`` / ``indexed_sets`` /
+``indexed_conjunctions``, plus ``conjunction_fallbacks`` /
 ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``)
-surface through :class:`ScorerStats`.  Everything else — conjunctions,
-discrete clauses, black-box aggregates, non-labeled attributes — takes
-the mask-matrix kernel exactly as before.
+surface through :class:`ScorerStats`.  Everything else — 3+-clause
+conjunctions, black-box aggregates, non-labeled attributes — takes the
+mask-matrix kernel exactly as before.
 
 Parallel sharded execution
 --------------------------
@@ -193,8 +206,22 @@ class ScorerStats:
     #: Wall-clock seconds spent inside ``score_batch``.
     batch_seconds: float = 0.0
     #: Batch predicates the planner routed through the prefix-aggregate
-    #: index (unique predicates, cache hits excluded).
+    #: index on any tier (unique predicates, cache hits excluded);
+    #: always equals ``indexed_ranges + indexed_sets +
+    #: indexed_conjunctions``.
     indexed_predicates: int = 0
+    #: Index predicates answered by the single-range tier (binary
+    #: searches + prefix differences / gathers).
+    indexed_ranges: int = 0
+    #: Index predicates answered by the discrete code-bucket tier
+    #: (single set clauses).
+    indexed_sets: int = 0
+    #: Index predicates answered by the 2-clause conjunction tier
+    #: (probe the rarer clause, mask-test its rows).
+    indexed_conjunctions: int = 0
+    #: 2-clause predicates the planner examined for the conjunction
+    #: tier but routed to the mask kernel (missing index view).
+    conjunction_fallbacks: int = 0
     #: Batch predicates that took the mask-matrix kernel instead.
     masked_predicates: int = 0
     #: Attribute indexes built so far (one sorted view per attribute).
@@ -268,8 +295,9 @@ class InfluenceScorer:
         Memoize predicate → influence (predicates are hashable and the
         Merger re-scores candidates freely).
     use_index:
-        Route single-clause range predicates in ``score_batch`` through
-        the prefix-aggregate index (on by default; only effective on the
+        Route single range clauses, single set clauses, and 2-clause
+        conjunctions in ``score_batch`` through the prefix-aggregate
+        index (on by default; only effective on the
         incrementally-removable path).  Benchmarks and the equivalence
         tests toggle it off to exercise the mask-matrix kernel.
     batch_chunk:
@@ -366,11 +394,16 @@ class InfluenceScorer:
         # aggregates need mask rows to recompute from raw values.
         self._index: PrefixAggregateIndex | None = None
         if use_index and self._incremental and offset:
+            evaluator = self._labeled_evaluator
             self._index = PrefixAggregateIndex(
-                {attr: self._labeled_evaluator.continuous_values(attr)
-                 for attr in self._labeled_evaluator.continuous_attributes},
+                {attr: evaluator.continuous_values(attr)
+                 for attr in evaluator.continuous_attributes},
                 [(start, stop) for _, start, stop in self._labeled_slices],
                 [ctx.tuple_states for ctx in self.contexts],
+                codes_by_attr={attr: evaluator.discrete_codes(attr)
+                               for attr in evaluator.discrete_attributes},
+                code_tables={attr: evaluator.code_table(attr)
+                             for attr in evaluator.discrete_attributes},
             )
         self._planner = IndexPlanner(self._index)
 
@@ -574,19 +607,25 @@ class InfluenceScorer:
         per-attribute cells, DT leaf ranges feeding the Merger) call
         this to declare the attributes they are about to flood
         ``score_batch`` with, so index build time lands up front instead
-        of inside the first scoring chunk.  ``None`` builds every
-        indexable continuous attribute.  Returns the attributes actually
-        indexed (empty when the fast path is unavailable) — purely an
-        optimization either way, since routed queries build lazily.
+        of inside the first scoring chunk.  Continuous attributes get
+        sorted range views, discrete attributes code-bucket views;
+        ``None`` builds every indexable attribute of either kind.
+        Returns the attributes actually indexed (empty when the fast
+        path is unavailable) — purely an optimization either way, since
+        routed queries build lazily.
         """
         if self._index is None:
             return ()
         if attributes is None:
-            attributes = self._labeled_evaluator.continuous_attributes
+            attributes = (self._labeled_evaluator.continuous_attributes
+                          + self._labeled_evaluator.discrete_attributes)
         built = []
         for attribute in attributes:
             if self._index.supports(attribute):
                 self._index.ensure(attribute)
+                built.append(attribute)
+            elif self._index.supports_discrete(attribute):
+                self._index.ensure_discrete(attribute)
                 built.append(attribute)
         self._sync_index_stats()
         return tuple(built)
@@ -657,42 +696,63 @@ class InfluenceScorer:
                 pending[predicate] = [i]
 
         route = self._planner.partition(pending)
-        masked_shards = [route.masked[lo:lo + self.batch_chunk]
-                         for lo in range(0, len(route.masked), self.batch_chunk)]
-        indexed_shards = [route.indexed[lo:lo + self.batch_chunk]
-                          for lo in range(0, len(route.indexed), self.batch_chunk)]
+        self.stats.conjunction_fallbacks += route.conjunction_fallbacks
+        if self._index is not None:
+            # Conjunction planning may have built probe-side views.
+            self._sync_index_stats()
+
+        def shard(items: list) -> list[list]:
+            return [items[lo:lo + self.batch_chunk]
+                    for lo in range(0, len(items), self.batch_chunk)]
+
+        masked_shards = shard(route.masked)
+        range_shards = shard(route.ranges)
+        set_shards = shard(route.sets)
+        conj_shards = shard(route.conjunctions)
+        n_shards = (len(masked_shards) + len(range_shards)
+                    + len(set_shards) + len(conj_shards))
 
         shard_values = None
-        if (not self._parallel_disabled
-                and len(masked_shards) + len(indexed_shards) >= 2):
+        if not self._parallel_disabled and n_shards >= 2:
             shard_values = self._score_shards_parallel(
-                masked_shards, indexed_shards, ignore_holdouts)
+                masked_shards, range_shards, set_shards, conj_shards,
+                ignore_holdouts)
         if shard_values is None:
-            masked_values = [self._score_masked_chunk(chunk, ignore_holdouts)
-                             for chunk in masked_shards]
-            indexed_values = [self._score_index_chunk(chunk, ignore_holdouts)
-                              for chunk in indexed_shards]
-        else:
-            masked_values, indexed_values = shard_values
+            shard_values = (
+                [self._score_masked_chunk(chunk, ignore_holdouts)
+                 for chunk in masked_shards],
+                [self._score_index_chunk(chunk, ignore_holdouts)
+                 for chunk in range_shards],
+                [self._score_set_chunk(chunk, ignore_holdouts)
+                 for chunk in set_shards],
+                [self._score_conj_chunk(chunk, ignore_holdouts)
+                 for chunk in conj_shards],
+            )
+        masked_values, range_values, set_values, conj_values = shard_values
+
+        def assign(predicate: Predicate, value: float) -> None:
+            value = float(value)
+            if cache is not None:
+                cache[predicate] = value
+            for i in pending[predicate]:
+                out[i] = value
 
         for chunk, values in zip(masked_shards, masked_values):
             self.stats.mask_scores += len(chunk)
             self.stats.masked_predicates += len(chunk)
             for predicate, value in zip(chunk, values):
-                value = float(value)
-                if cache is not None:
-                    cache[predicate] = value
-                for i in pending[predicate]:
-                    out[i] = value
+                assign(predicate, value)
 
-        for chunk, values in zip(indexed_shards, indexed_values):
-            self.stats.indexed_predicates += len(chunk)
-            for (predicate, _), value in zip(chunk, values):
-                value = float(value)
-                if cache is not None:
-                    cache[predicate] = value
-                for i in pending[predicate]:
-                    out[i] = value
+        for tier_shards, tier_values, counter in (
+                (range_shards, range_values, "indexed_ranges"),
+                (set_shards, set_values, "indexed_sets"),
+                (conj_shards, conj_values, "indexed_conjunctions")):
+            for chunk, values in zip(tier_shards, tier_values):
+                self.stats.indexed_predicates += len(chunk)
+                setattr(self.stats, counter,
+                        getattr(self.stats, counter) + len(chunk))
+                for (predicate, _), value in zip(chunk, values):
+                    assign(predicate, value)
 
         for i in fallback:
             predicate = predicates[i]
@@ -718,25 +778,46 @@ class InfluenceScorer:
         (``workers > 1`` and the pool has not failed)."""
         return not self._parallel_disabled
 
-    def _score_shards_parallel(self, masked_shards: list, indexed_shards: list,
+    def _score_shards_parallel(self, masked_shards: list, range_shards: list,
+                               set_shards: list, conj_shards: list,
                                ignore_holdouts: bool):
         """Run routed shards on the worker pool.
 
-        Returns ``(masked_values, indexed_values)`` aligned with the
-        shard lists — bit-for-bit what the serial loops would compute —
-        or None after disabling parallelism (any failure: the caller
-        then takes the serial path, so scoring always completes).
+        Returns ``(masked_values, range_values, set_values,
+        conj_values)`` aligned with the shard lists — bit-for-bit what
+        the serial loops would compute — or None after disabling
+        parallelism (any failure: the caller then takes the serial path,
+        so scoring always completes).
         """
         try:
             executor = self._ensure_executor()
             tasks: list[tuple] = []
             for chunk in masked_shards:
                 tasks.append(("masked", list(chunk), ignore_holdouts, ()))
-            for chunk in indexed_shards:
+            for chunk in range_shards:
                 attrs = sorted({clause.attribute for _, clause in chunk})
-                specs = tuple(self._index_attribute_spec(executor, attr)
+                specs = tuple(self._index_attribute_spec(executor, attr,
+                                                         "range")
                               for attr in attrs)
                 tasks.append(("indexed", [clause for _, clause in chunk],
+                              ignore_holdouts, specs))
+            for chunk in set_shards:
+                attrs = sorted({clause.attribute for _, clause in chunk})
+                specs = tuple(self._index_attribute_spec(executor, attr,
+                                                         "discrete")
+                              for attr in attrs)
+                tasks.append(("indexed_set", [clause for _, clause in chunk],
+                              ignore_holdouts, specs))
+            for chunk in conj_shards:
+                # Ship the probe side's view; the other side only reads
+                # raw arrays every worker already maps.
+                probe_attrs = sorted({
+                    (("range" if isinstance(plan.probe, RangeClause)
+                      else "discrete"), plan.probe.attribute)
+                    for _, plan in chunk})
+                specs = tuple(self._index_attribute_spec(executor, attr, kind)
+                              for kind, attr in probe_attrs)
+                tasks.append(("indexed_conj", [plan for _, plan in chunk],
                               ignore_holdouts, specs))
             results = executor.run(tasks)
         except Exception as exc:  # noqa: BLE001 - availability over purity:
@@ -752,8 +833,12 @@ class InfluenceScorer:
             values.append(shard_values)
         self.stats.parallel_batches += 1
         self.stats.parallel_shards += len(tasks)
-        n_masked = len(masked_shards)
-        return values[:n_masked], values[n_masked:]
+        bounds = []
+        offset = 0
+        for shards in (masked_shards, range_shards, set_shards, conj_shards):
+            bounds.append((offset, offset + len(shards)))
+            offset += len(shards)
+        return tuple(values[lo:hi] for lo, hi in bounds)
 
     def _ensure_executor(self):
         """Lazily build the kernel spec, place the problem's arrays in
@@ -768,20 +853,30 @@ class InfluenceScorer:
             self._finalizer = weakref.finalize(self, executor.close)
         return self._executor
 
-    def _index_attribute_spec(self, executor, attribute: str):
-        """The shared-memory spec of one built index attribute, building
-        (in the parent, so ``index_builds`` counts exactly as serial
-        routing would) and exporting it on first use."""
-        spec = self._index_attr_specs.get(attribute)
+    def _index_attribute_spec(self, executor, attribute: str, kind: str):
+        """The shared-memory spec of one built index attribute view
+        (``kind`` is ``"range"`` or ``"discrete"``), building (in the
+        parent, so ``index_builds`` counts exactly as serial routing
+        would) and exporting it on first use."""
+        spec = self._index_attr_specs.get((kind, attribute))
         if spec is None:
-            from repro.parallel import export_index_attribute
+            from repro.parallel import (
+                export_discrete_index_attribute,
+                export_index_attribute,
+            )
 
             assert self._index is not None
-            self._index.ensure(attribute)
-            self._sync_index_stats()
-            shm, spec = export_index_attribute(self._index, attribute)
+            if kind == "range":
+                self._index.ensure(attribute)
+                self._sync_index_stats()
+                shm, spec = export_index_attribute(self._index, attribute)
+            else:
+                self._index.ensure_discrete(attribute)
+                self._sync_index_stats()
+                shm, spec = export_discrete_index_attribute(
+                    self._index, attribute)
             executor.register_segment(shm)
-            self._index_attr_specs[attribute] = spec
+            self._index_attr_specs[(kind, attribute)] = spec
         return spec
 
     def _disable_parallel(self) -> None:
@@ -826,6 +921,22 @@ class InfluenceScorer:
         kernel only reads the clauses)."""
         return self._score_index_chunk([(None, clause) for clause in clauses],
                                        ignore_holdouts)
+
+    def _score_set_clause_shard(self, clauses: Sequence,
+                                ignore_holdouts: bool) -> np.ndarray:
+        """One discrete-bucket shard shipped as bare set clauses — the
+        worker-side entry for the set tier."""
+        return self._score_set_chunk([(None, clause) for clause in clauses],
+                                     ignore_holdouts)
+
+    def _score_conjunction_shard(self, plans: Sequence,
+                                 ignore_holdouts: bool) -> np.ndarray:
+        """One conjunction shard shipped as bare
+        :class:`~repro.index.ConjunctionPlan` objects — the worker-side
+        entry for the conjunction tier (the parent plans probe sides;
+        workers only execute)."""
+        return self._score_conj_chunk([(None, plan) for plan in plans],
+                                      ignore_holdouts)
 
     def _score_mask_matrix(self, matrix: np.ndarray,
                            ignore_holdouts: bool) -> np.ndarray:
@@ -893,6 +1004,57 @@ class InfluenceScorer:
             )
             counts[positions] = attr_counts
             removed[positions] = attr_removed
+        self._sync_index_stats()
+        return self._combine_group_influences(counts, removed, None,
+                                              ignore_holdouts)
+
+    def _score_set_chunk(self, items: list, ignore_holdouts: bool,
+                         ) -> np.ndarray:
+        """The metric for a chunk of single-set-clause predicates
+        through the discrete code-bucket tier — no mask matrix is
+        materialized.
+
+        Per constrained attribute, every predicate's per-group matched
+        count and summed removed state come from its wanted codes'
+        buckets — exact per-bucket sums, or an ascending-row gather of
+        just the bucketed rows (see :mod:`repro.index.discrete`) —
+        feeding the same influence arithmetic as the mask kernel.
+        """
+        assert self._index is not None and self._incremental
+        m = len(items)
+        n_ctx = len(self._labeled_slices)
+        active = self._count_active_contexts(ignore_holdouts)
+        counts = np.zeros((m, n_ctx), dtype=np.int64)
+        removed = np.zeros((m, n_ctx, self._index.state_size),
+                           dtype=np.float64)
+        by_attr: dict[str, list[int]] = {}
+        for j, (_, clause) in enumerate(items):
+            by_attr.setdefault(clause.attribute, []).append(j)
+        for attribute, positions in by_attr.items():
+            wanted_lists = [
+                self._index.translate(attribute, items[j][1].values)
+                for j in positions
+            ]
+            attr_counts, attr_removed = self._index.set_group_stats(
+                attribute, wanted_lists, active_groups=active)
+            counts[positions] = attr_counts
+            removed[positions] = attr_removed
+        self._sync_index_stats()
+        return self._combine_group_influences(counts, removed, None,
+                                              ignore_holdouts)
+
+    def _score_conj_chunk(self, items: list, ignore_holdouts: bool,
+                          ) -> np.ndarray:
+        """The metric for a chunk of planned 2-clause conjunctions: the
+        probe clause's index view supplies k candidate rows per group,
+        the other clause mask-tests only those rows (see
+        :meth:`~repro.index.PrefixAggregateIndex.conjunction_group_stats`).
+        """
+        assert self._index is not None and self._incremental
+        active = self._count_active_contexts(ignore_holdouts)
+        counts, removed = self._index.conjunction_group_stats(
+            [(plan.probe, plan.other) for _, plan in items],
+            active_groups=active)
         self._sync_index_stats()
         return self._combine_group_influences(counts, removed, None,
                                               ignore_holdouts)

@@ -143,10 +143,10 @@ class MCPartitioner:
         start = time.perf_counter()
         scorer = scorer or InfluenceScorer(query)
         self._validate(query, scorer)
-        # Level-1 continuous units are single-clause grid cells — the
-        # index fast path's shape — so build those indexes up front.
-        scorer.prepare_index(
-            spec.name for spec in query.domain if spec.is_continuous)
+        # Level-1 units are single-clause grid cells / value sets — the
+        # range and bucket tiers' shapes — so build those indexes up
+        # front (level-2 intersections are the conjunction tier's).
+        scorer.prepare_index(spec.name for spec in query.domain)
         merger = Merger(scorer, query.domain, params=self.merger_params)
         index = _OutlierIndex(scorer)
 

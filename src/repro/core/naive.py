@@ -92,11 +92,12 @@ class NaivePartitioner:
             ) -> PartitionerResult:
         """Search the predicate space and return the ranked best found."""
         scorer = scorer or InfluenceScorer(query)
-        # Declare the single-clause range producers: every continuous
-        # attribute's grid cells (and their unions) arrive as 1-clause
-        # predicates, the index fast path's exact shape.
-        scorer.prepare_index(
-            spec.name for spec in query.domain if spec.is_continuous)
+        # Declare the single-clause producers: every continuous
+        # attribute's grid cells (and their unions) and every discrete
+        # attribute's value sets arrive as 1-clause predicates — and
+        # their pairings as 2-clause conjunctions — all index-tier
+        # shapes.
+        scorer.prepare_index(spec.name for spec in query.domain)
         enumerator = PredicateEnumerator(
             query.domain,
             n_bins=self.n_bins,

@@ -64,7 +64,9 @@ class ScorpionResult:
     #: Scorer operation counters (:meth:`ScorerStats.as_dict`), including
     #: the batch-scoring counters ``batch_calls`` / ``batch_predicates``
     #: / ``largest_batch`` / ``batch_seconds`` / ``batch_throughput``,
-    #: the index-routing counters ``indexed_predicates`` /
+    #: the index-routing counters ``indexed_predicates`` (with its
+    #: per-tier split ``indexed_ranges`` / ``indexed_sets`` /
+    #: ``indexed_conjunctions`` and ``conjunction_fallbacks``) /
     #: ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``,
     #: and the parallel-execution counters ``parallel_batches`` /
     #: ``parallel_shards`` (worker-side kernel counters are merged back
@@ -102,9 +104,10 @@ class Scorpion:
     relevance_threshold:
         Minimum relevance an attribute must reach to be kept.
     use_index:
-        Let the Scorer route single-clause range predicates through the
-        prefix-aggregate index (on by default; see
-        :mod:`repro.index`).
+        Let the Scorer route the search's hot predicate shapes —
+        single range clauses, single set clauses, and 2-clause
+        conjunctions — through the prefix-aggregate index (on by
+        default; see :mod:`repro.index`).
     batch_chunk:
         Override for the Scorer's per-pass predicate chunk size (None =
         the ``SCORPION_BATCH_CHUNK`` environment variable, else the

@@ -58,8 +58,23 @@ class RunRecord:
     @property
     def indexed_predicates(self) -> int:
         """Predicates the planner routed through the prefix-aggregate
-        index during the run."""
+        index during the run (all tiers)."""
         return int(self.scorer_stats.get("indexed_predicates", 0))
+
+    @property
+    def indexed_ranges(self) -> int:
+        """Index predicates answered by the single-range tier."""
+        return int(self.scorer_stats.get("indexed_ranges", 0))
+
+    @property
+    def indexed_sets(self) -> int:
+        """Index predicates answered by the discrete code-bucket tier."""
+        return int(self.scorer_stats.get("indexed_sets", 0))
+
+    @property
+    def indexed_conjunctions(self) -> int:
+        """Index predicates answered by the 2-clause conjunction tier."""
+        return int(self.scorer_stats.get("indexed_conjunctions", 0))
 
     @property
     def masked_predicates(self) -> int:

@@ -1,27 +1,37 @@
-"""Prefix-aggregate index subsystem: O(log n) influence scoring for
-single-clause range predicates.
+"""Prefix-aggregate index subsystem: sub-O(n) influence scoring for the
+predicate shapes Scorpion's search floods the scorer with.
 
-:class:`PrefixAggregateIndex` sorts each labeled group's rows once per
-attribute and precomputes prefix-summed aggregate state along that
-order; :class:`IndexPlanner` routes each predicate of a batch to the
-index fast path or the mask-matrix kernel.  See the module docstrings
-of :mod:`repro.index.prefix` and :mod:`repro.index.planner` for the
-exact-equality argument and the routing rules.
+:class:`PrefixAggregateIndex` precomputes, per labeled group: sorted
+rows plus prefix-summed aggregate state per continuous attribute
+(single range clauses → two binary searches), and code-bucketed rows
+plus per-bucket aggregate state per discrete attribute (single set
+clauses → O(|codes|) bucket lookups).  2-clause conjunctions probe the
+rarer clause's view and mask-test only its rows.
+:class:`IndexPlanner` routes each predicate of a batch to the right
+tier or to the mask-matrix kernel.  See the module docstrings of
+:mod:`repro.index.prefix`, :mod:`repro.index.discrete`, and
+:mod:`repro.index.planner` for the exact-equality arguments and the
+routing rules.
 """
 
-from repro.index.planner import IndexPlanner, IndexRoute
+from repro.index.discrete import GroupDiscreteIndex
+from repro.index.planner import ConjunctionPlan, IndexPlanner, IndexRoute
 from repro.index.prefix import (
     EXACT_SUM_BUDGET,
     GroupAttributeIndex,
     PrefixAggregateIndex,
     exactly_summable,
+    gather_slice_states,
 )
 
 __all__ = [
     "EXACT_SUM_BUDGET",
+    "ConjunctionPlan",
     "GroupAttributeIndex",
+    "GroupDiscreteIndex",
     "IndexPlanner",
     "IndexRoute",
     "PrefixAggregateIndex",
     "exactly_summable",
+    "gather_slice_states",
 ]

@@ -1,58 +1,113 @@
-"""Routing predicates between the index fast path and the mask kernel.
+"""Routing predicates between the index fast paths and the mask kernel.
 
 The :class:`IndexPlanner` decides, per predicate of a ``score_batch``
-call, whether the prefix-aggregate index can answer it:
+call, which execution tier answers it:
 
-* exactly one clause (conjunctions need cross-attribute mask
-  intersection, which is the mask kernel's job);
-* that clause is a :class:`~repro.predicates.clause.RangeClause`
-  (discrete set clauses have no sorted-order contiguity);
-* the attribute is a continuous column of the labeled rows (anything
-  else — including user predicates over non-``A_rest`` attributes —
-  keeps its existing fallback);
-* the scorer is on the incrementally-removable path (black-box
-  aggregates must recompute from raw matched values, so they need the
-  mask rows regardless).
+* **range tier** — exactly one :class:`~repro.predicates.clause.RangeClause`
+  over a continuous labeled attribute: two binary searches per group
+  (see :mod:`repro.index.prefix`);
+* **discrete-bucket tier** — exactly one
+  :class:`~repro.predicates.clause.SetClause` over a factorized discrete
+  labeled attribute: O(|codes|) bucket lookups per group (see
+  :mod:`repro.index.discrete`);
+* **conjunction tier** — exactly two clauses, both over attributes the
+  index holds raw arrays for: the planner estimates each side's matched
+  row total (exact counts off the per-group views, which the probe needs
+  anyway), probes the *rarer* side's sorted slice or code buckets, and
+  mask-tests only those k rows against the other clause;
+* **mask kernel** — everything else: 3+-clause conjunctions, 2-clause
+  conjunctions the tier cannot or should not take (an attribute without
+  a prepared index view, or even the rarer side too unselective for
+  probing to pay — both counted in the route's
+  ``conjunction_fallbacks``), black-box aggregates (the scorer builds
+  no index at all then), and user predicates over non-``A_rest``
+  attributes.
 
 Everything the planner rejects flows to
 :meth:`~repro.predicates.evaluator.ArrayMaskEvaluator.evaluate_batch`
 unchanged, so routing is purely an execution-strategy choice — results
-are identical on either path.
+are identical on every path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.index.prefix import PrefixAggregateIndex
-from repro.predicates.clause import RangeClause
+from repro.predicates.clause import Clause, RangeClause, SetClause
 from repro.predicates.predicate import Predicate
+
+
+@dataclass(frozen=True)
+class ConjunctionPlan:
+    """An executable 2-clause conjunction: probe the ``probe`` clause's
+    index view, mask-test its rows against ``other``.  Picklable — the
+    parent plans, workers only execute."""
+
+    probe: Clause
+    other: Clause
+    #: The probe side's estimated (exact) matched-row total across
+    #: groups at plan time — diagnostics only, never re-checked.
+    probe_count: int = 0
 
 
 @dataclass
 class IndexRoute:
-    """One chunk-sized routing decision: which predicates take the index
-    fast path (with their single range clause pre-extracted) and which
-    fall back to the mask-matrix kernel."""
+    """One chunk-sized routing decision: which predicates take which
+    index tier (with their clauses / plans pre-extracted) and which fall
+    back to the mask-matrix kernel."""
 
-    indexed: list[tuple[Predicate, RangeClause]]
-    masked: list[Predicate]
+    ranges: list[tuple[Predicate, RangeClause]] = field(default_factory=list)
+    sets: list[tuple[Predicate, SetClause]] = field(default_factory=list)
+    conjunctions: list[tuple[Predicate, ConjunctionPlan]] = field(
+        default_factory=list)
+    masked: list[Predicate] = field(default_factory=list)
+    #: 2-clause predicates the planner examined for the conjunction tier
+    #: but sent to the mask kernel instead (missing index view, or even
+    #: the rarer clause too unselective for probing to pay).
+    conjunction_fallbacks: int = 0
+
+    @property
+    def indexed_total(self) -> int:
+        """Predicates answered by any index tier."""
+        return len(self.ranges) + len(self.sets) + len(self.conjunctions)
 
 
 class IndexPlanner:
     """Chooses the scoring path for each predicate of a batch."""
 
+    #: Fraction of the labeled rows beyond which probing the rarer
+    #: clause of a conjunction stops paying: the probe tier's cost is
+    #: O(k) in the probe side's matched rows, so once even the rarer
+    #: side covers most of the table the mask kernel's amortized
+    #: whole-batch comparisons win.  Such conjunctions fall back
+    #: (counted in ``conjunction_fallbacks``); results are identical
+    #: either way.
+    PROBE_FRACTION_CAP = 0.5
+
     def __init__(self, index: PrefixAggregateIndex | None):
         self.index = index
+        #: Memoized clause → matched-row totals (clauses are immutable
+        #: and the labeled rows never change, so counts are stable; the
+        #: search re-submits the same clauses constantly).
+        self._count_cache: dict = {}
+
+    def _clause_count(self, clause) -> int:
+        count = self._count_cache.get(clause)
+        if count is None:
+            assert self.index is not None
+            count = self.index.estimate_clause_count(clause)
+            self._count_cache[clause] = count
+        return count
 
     @property
     def enabled(self) -> bool:
         return self.index is not None
 
     def fast_clause(self, predicate: Predicate) -> RangeClause | None:
-        """The predicate's index-answerable clause, or None when it must
-        go through the mask kernel."""
+        """The predicate's range-tier clause, or None when that tier
+        cannot answer it."""
         if self.index is None or predicate.num_clauses != 1:
             return None
         clause = predicate.clauses[0]
@@ -62,15 +117,61 @@ class IndexPlanner:
             return None
         return clause
 
+    def fast_set_clause(self, predicate: Predicate) -> SetClause | None:
+        """The predicate's discrete-bucket-tier clause, or None when
+        that tier cannot answer it."""
+        if self.index is None or predicate.num_clauses != 1:
+            return None
+        clause = predicate.clauses[0]
+        if not isinstance(clause, SetClause):
+            return None
+        if not self.index.supports_discrete(clause.attribute):
+            return None
+        return clause
+
+    def plan_conjunction(self, predicate: Predicate) -> ConjunctionPlan | None:
+        """An executable plan for a 2-clause conjunction, or None when
+        either clause lacks a prepared index view or even the rarer
+        clause exceeds :attr:`PROBE_FRACTION_CAP` (the caller falls back
+        to the mask kernel — never an error; see the fallback contract
+        in the module docstring)."""
+        if self.index is None or predicate.num_clauses != 2:
+            return None
+        first, second = predicate.clauses
+        # Both sides must be backed by raw index arrays: the probe side
+        # needs a sorted/bucketed view, the other side needs the value
+        # or code array its membership test reads.
+        if not (self.index.supports_clause(first)
+                and self.index.supports_clause(second)):
+            return None
+        first_count = self._clause_count(first)
+        second_count = self._clause_count(second)
+        probe_count = min(first_count, second_count)
+        if probe_count > self.PROBE_FRACTION_CAP * self.index.n_labeled_rows:
+            return None
+        if first_count <= second_count:
+            return ConjunctionPlan(first, second, first_count)
+        return ConjunctionPlan(second, first, second_count)
+
     def partition(self, predicates: Sequence[Predicate] | Iterable[Predicate],
                   ) -> IndexRoute:
-        """Split a batch into index-path and mask-path predicates,
+        """Split a batch across the index tiers and the mask path,
         preserving relative order within each path."""
-        route = IndexRoute(indexed=[], masked=[])
+        route = IndexRoute()
         for predicate in predicates:
             clause = self.fast_clause(predicate)
-            if clause is None:
-                route.masked.append(predicate)
-            else:
-                route.indexed.append((predicate, clause))
+            if clause is not None:
+                route.ranges.append((predicate, clause))
+                continue
+            set_clause = self.fast_set_clause(predicate)
+            if set_clause is not None:
+                route.sets.append((predicate, set_clause))
+                continue
+            if self.index is not None and predicate.num_clauses == 2:
+                plan = self.plan_conjunction(predicate)
+                if plan is not None:
+                    route.conjunctions.append((predicate, plan))
+                    continue
+                route.conjunction_fallbacks += 1
+            route.masked.append(predicate)
         return route

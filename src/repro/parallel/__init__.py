@@ -30,16 +30,19 @@ from repro.parallel.executor import (
     resolve_workers,
 )
 from repro.parallel.kernel import (
+    DiscreteIndexAttributeSpec,
     IndexAttributeSpec,
     KernelSpec,
     build_kernel_spec,
     build_worker_scorer,
+    export_discrete_index_attribute,
     export_index_attribute,
 )
 from repro.parallel.shm import SegmentSpec, attach_segment, create_segment
 
 __all__ = [
     "DEFAULT_TASK_TIMEOUT",
+    "DiscreteIndexAttributeSpec",
     "IndexAttributeSpec",
     "KernelSpec",
     "SegmentSpec",
@@ -48,6 +51,7 @@ __all__ = [
     "build_kernel_spec",
     "build_worker_scorer",
     "create_segment",
+    "export_discrete_index_attribute",
     "export_index_attribute",
     "resolve_workers",
 ]

@@ -21,12 +21,13 @@ table, no query, and no caches: it only ever sees routed batch shards
 
 Prefix-aggregate index views built in the parent are shipped the same
 way, per attribute, via :func:`export_index_attribute` /
-:func:`install_index_attribute` — the sorted orders, sorted values, and
-exact prefix states of every group concatenated into one segment.  A
-worker that receives a shard for an attribute nobody shipped simply
-builds the attribute locally (stable argsort of identical values is
-deterministic, so the result is still bit-identical); shipping is a
-pure optimization.
+:func:`export_discrete_index_attribute` /
+:func:`install_index_attribute` — the sorted orders, sorted values (or
+code-bucket boundaries), and exact prefix (or per-bucket) states of
+every group concatenated into one segment.  A worker that receives a
+shard for an attribute nobody shipped simply builds the attribute
+locally (stable argsort of identical values/codes is deterministic, so
+the result is still bit-identical); shipping is a pure optimization.
 """
 
 from __future__ import annotations
@@ -90,7 +91,7 @@ class KernelSpec:
 
 @dataclass(frozen=True, eq=False)
 class IndexAttributeSpec:
-    """One attribute's pre-built prefix-aggregate index views.
+    """One continuous attribute's pre-built prefix-aggregate index views.
 
     ``segment`` packs, in labeled-slice order: every group's sorted row
     order (``order``), sorted attribute values (``values``), and — for
@@ -100,9 +101,32 @@ class IndexAttributeSpec:
     inside that concatenation (an empty span for gather-tier groups).
     """
 
+    kind = "range"
+
     attribute: str
     segment: SegmentSpec
     prefix_offsets: tuple[int, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class DiscreteIndexAttributeSpec:
+    """One discrete attribute's pre-built code-bucket index views.
+
+    ``segment`` packs, in labeled-slice order: every group's code-sorted
+    row order (``order``), the groups' ``(n_codes + 1,)`` bucket
+    boundary arrays concatenated (``offsets``), and — for groups on the
+    exact bucket tier — the ``(n_codes, state_size)`` per-bucket summed
+    states concatenated row-wise (``buckets``).
+    ``bucket_offsets[g] : bucket_offsets[g + 1]`` are group ``g``'s rows
+    inside that concatenation (an empty span for gather-tier groups).
+    """
+
+    kind = "discrete"
+
+    attribute: str
+    segment: SegmentSpec
+    bucket_offsets: tuple[int, ...]
+    n_codes: int
 
 
 # ----------------------------------------------------------------------
@@ -187,6 +211,34 @@ def export_index_attribute(index, attribute: str,
     return shm, IndexAttributeSpec(attribute, segment, tuple(offsets))
 
 
+def export_discrete_index_attribute(index, attribute: str,
+                                    ) -> tuple[shared_memory.SharedMemory,
+                                               DiscreteIndexAttributeSpec]:
+    """Pack one discrete attribute's built code-bucket views into a
+    segment (the discrete counterpart of :func:`export_index_attribute`)."""
+    per_group = index.ensure_discrete(attribute)
+    n_codes = index.n_codes(attribute)
+    orders = [group.order for group in per_group]
+    offsets = [group.offsets for group in per_group]
+    buckets = [group.bucket_states for group in per_group]
+    state_size = index.state_size
+    rows = [0]
+    for bucket in buckets:
+        rows.append(rows[-1] + (0 if bucket is None else len(bucket)))
+    buckets_all = (np.concatenate([b for b in buckets if b is not None])
+                   if rows[-1]
+                   else np.empty((0, state_size), dtype=np.float64))
+    shm, segment = create_segment({
+        "order": (np.concatenate(orders) if orders
+                  else np.empty(0, dtype=np.int64)),
+        "offsets": (np.concatenate(offsets) if offsets
+                    else np.empty(0, dtype=np.int64)),
+        "buckets": buckets_all,
+    })
+    return shm, DiscreteIndexAttributeSpec(attribute, segment, tuple(rows),
+                                           n_codes)
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -264,6 +316,9 @@ def build_worker_scorer(spec: KernelSpec,
             {attr: views[_CONT + attr] for attr in spec.continuous_attrs},
             [(start, stop) for _, start, stop in slices],
             [ctx.tuple_states for ctx in contexts],
+            codes_by_attr={attr: views[_CODES + attr]
+                           for attr in spec.discrete_attrs},
+            code_tables=spec.code_of,
         )
     scorer._planner = IndexPlanner(scorer._index)
     scorer._index_builds_seen = 0
@@ -277,14 +332,30 @@ def build_worker_scorer(spec: KernelSpec,
     return scorer, held
 
 
-def install_index_attribute(scorer, spec: IndexAttributeSpec,
-                            owner_tracker_pid: int | None = None,
+def install_index_attribute(scorer, spec, owner_tracker_pid: int | None = None,
                             ) -> shared_memory.SharedMemory:
-    """Install one shipped attribute into a worker scorer's index."""
+    """Install one shipped attribute view (range or discrete, per the
+    spec's ``kind``) into a worker scorer's index."""
+    from repro.index.discrete import GroupDiscreteIndex
     from repro.index.prefix import GroupAttributeIndex
 
     shm, views = attach_segment(spec.segment, owner_tracker_pid)
     order_all = views["order"]
+    if spec.kind == "discrete":
+        offsets_all = views["offsets"]
+        buckets_all = views["buckets"]
+        rows = spec.bucket_offsets
+        span = spec.n_codes + 1
+        per_group = []
+        for gi, (start, stop) in enumerate(scorer._index.group_slices):
+            lo, hi = rows[gi], rows[gi + 1]
+            per_group.append(GroupDiscreteIndex.from_arrays(
+                order_all[start:stop],
+                offsets_all[gi * span:(gi + 1) * span],
+                buckets_all[lo:hi] if hi > lo else None,
+            ))
+        scorer._index.install_discrete_attribute(spec.attribute, per_group)
+        return shm
     values_all = views["values"]
     prefix_all = views["prefix"]
     offsets = spec.prefix_offsets

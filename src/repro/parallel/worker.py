@@ -10,9 +10,12 @@ already routed by the parent's :class:`~repro.index.IndexPlanner`:
   builds the mask matrix with its own labeled evaluator and runs the
   scatter-add kernel — exactly the serial code path, so the returned
   influences are bit-for-bit what the parent would have computed;
-* ``"indexed"`` shards carry only the single range clauses (the
-  predicates stay in the parent) plus the specs of any pre-built index
-  attributes the worker has not installed yet.
+* ``"indexed"`` / ``"indexed_set"`` shards carry only the single range
+  or set clauses (the predicates stay in the parent) plus the specs of
+  any pre-built index attribute views the worker has not installed yet;
+* ``"indexed_conj"`` shards carry the parent-planned
+  :class:`~repro.index.ConjunctionPlan` objects (probe side already
+  chosen) plus the probe attributes' view specs.
 
 Each call returns ``(influences, worker_counters)`` where the counters
 are the kernel-internal :class:`ScorerStats` increments
@@ -28,7 +31,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.parallel.kernel import (
-    IndexAttributeSpec,
     KernelSpec,
     build_worker_scorer,
     install_index_attribute,
@@ -58,22 +60,27 @@ def initialize(spec: KernelSpec) -> None:
 
 
 def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
-              attr_specs: tuple[IndexAttributeSpec, ...],
+              attr_specs: tuple,
               ) -> tuple[np.ndarray, dict[str, float]]:
     """Score one routed shard; see the module docstring."""
     state = _STATE
     assert state is not None, "worker used before initialize()"
     scorer = state.scorer
     for attr_spec in attr_specs:
-        if attr_spec.attribute not in state.installed_attrs:
+        key = (attr_spec.kind, attr_spec.attribute)
+        if key not in state.installed_attrs:
             state.segments.append(install_index_attribute(
                 scorer, attr_spec, state.owner_tracker_pid))
-            state.installed_attrs.add(attr_spec.attribute)
+            state.installed_attrs.add(key)
     scorer.stats.reset()
     if kind == "masked":
         values = scorer._score_masked_chunk(items, ignore_holdouts)
     elif kind == "indexed":
         values = scorer._score_clause_shard(items, ignore_holdouts)
+    elif kind == "indexed_set":
+        values = scorer._score_set_clause_shard(items, ignore_holdouts)
+    elif kind == "indexed_conj":
+        values = scorer._score_conjunction_shard(items, ignore_holdouts)
     else:  # pragma: no cover - guarded by the executor's task builder
         raise ValueError(f"unknown shard kind {kind!r}")
     return np.asarray(values, dtype=np.float64), scorer.stats.worker_counters()

@@ -115,6 +115,31 @@ class ArrayMaskEvaluator:
                 f"no continuous attribute {attribute!r} in evaluator"
             ) from None
 
+    @property
+    def discrete_attributes(self) -> tuple[str, ...]:
+        """Names of the attributes held as factorized discrete codes."""
+        return tuple(self._codes)
+
+    def discrete_codes(self, attribute: str) -> np.ndarray:
+        """The factorized code array of a discrete attribute (the exact
+        codes set-clause lookups run against — index builders bucket
+        these so bucket membership equals mask membership)."""
+        try:
+            return self._codes[attribute]
+        except KeyError:
+            raise PredicateError(
+                f"no discrete attribute {attribute!r} in evaluator"
+            ) from None
+
+    def code_table(self, attribute: str) -> dict:
+        """The value → code table of a discrete attribute."""
+        try:
+            return self._code_of[attribute]
+        except KeyError:
+            raise PredicateError(
+                f"no discrete attribute {attribute!r} in evaluator"
+            ) from None
+
     def supports_predicate(self, predicate: Predicate) -> bool:
         """Whether every clause attribute is known to this evaluator."""
         return all(self.supports(clause.attribute) for clause in predicate)

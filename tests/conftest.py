@@ -1,4 +1,5 @@
-"""Shared fixtures: the paper's running example and small helpers."""
+"""Shared fixtures: the paper's running example, small helpers, and the
+cross-path differential scoring oracle."""
 
 from __future__ import annotations
 
@@ -6,9 +7,118 @@ import numpy as np
 import pytest
 
 from repro.aggregates import Avg, Sum
+from repro.core.influence import InfluenceScorer
 from repro.core.problem import ScorpionQuery
 from repro.query.groupby import GroupByQuery
 from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+#: Counters that must agree between the index-routed scorer and a
+#: parallel scorer fed the same batch (routing happens in the parent
+#: either way, and worker-side kernel counters merge back).
+ROUTING_COUNTERS = (
+    "indexed_predicates", "indexed_ranges", "indexed_sets",
+    "indexed_conjunctions", "conjunction_fallbacks", "masked_predicates",
+    "incremental_deltas", "full_recomputes", "index_builds",
+)
+
+
+def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
+                               workers=None, batch_chunk=None,
+                               expect_pool=False, **scorer_kwargs):
+    """The differential scoring oracle: every execution path of the
+    influence metric must produce bit-for-bit identical influences.
+
+    Paths driven, given one problem and one predicate list:
+
+    1. scalar ``score()`` per predicate (the reference semantics);
+    2. ``score_batch`` with the index disabled (mask-matrix kernel);
+    3. ``score_batch`` with the index enabled (planner-routed tiers);
+    4. optionally ``score_batch`` with ``workers`` processes (sharded
+       parallel execution), when ``workers`` is given.
+
+    Also asserts routing-counter consistency: the per-tier split sums to
+    ``indexed_predicates``, the mask-only scorer routes nothing, and a
+    parallel run's routing/kernel counters equal the serial indexed
+    run's.  ``expect_pool`` additionally requires that the parallel leg
+    actually dispatched shards to worker processes.  Extra keyword
+    arguments construct every scorer (e.g. ``use_incremental=False``).
+    Returns the agreed influence vector.
+    """
+    predicates = list(predicates)
+    chunk_kwargs = {} if batch_chunk is None else {"batch_chunk": batch_chunk}
+
+    scalar_kwargs = dict(scorer_kwargs, use_index=False)
+    scalar_scorer = InfluenceScorer(problem, cache_scores=False,
+                                    **scalar_kwargs)
+    scalar = np.asarray([
+        scalar_scorer.score(p, ignore_holdouts=ignore_holdouts)
+        for p in predicates
+    ])
+
+    mask_kwargs = dict(scorer_kwargs, use_index=False)
+    masked = InfluenceScorer(problem, cache_scores=False, **mask_kwargs,
+                             **chunk_kwargs)
+    via_mask = masked.score_batch(predicates, ignore_holdouts=ignore_holdouts)
+
+    indexed = InfluenceScorer(problem, cache_scores=False, **scorer_kwargs,
+                              **chunk_kwargs)
+    via_index = indexed.score_batch(predicates,
+                                    ignore_holdouts=ignore_holdouts)
+
+    np.testing.assert_array_equal(via_mask, scalar)
+    np.testing.assert_array_equal(via_index, scalar)
+
+    stats = indexed.stats
+    assert stats.indexed_predicates == (
+        stats.indexed_ranges + stats.indexed_sets
+        + stats.indexed_conjunctions), "per-tier split must sum to total"
+    assert masked.stats.indexed_predicates == 0
+    if not indexed.uses_index:
+        assert stats.indexed_predicates == 0
+    assert (stats.indexed_predicates + stats.masked_predicates
+            <= len(set(predicates)))
+    if indexed.uses_index:
+        # Routing-engagement guard: the tiers must actually answer the
+        # shapes they advertise, so a silently-rejecting planner cannot
+        # degrade these checks to mask-vs-mask comparisons.  Every
+        # unique single-clause predicate whose clause the index holds
+        # arrays for routes unconditionally; every 2-clause predicate
+        # with both clauses held is at least *examined* (routed or
+        # counted as a fallback).
+        index = indexed.planner.index
+        unique = set(predicates)
+        singles = sum(1 for p in unique if p.num_clauses == 1
+                      and index.supports_clause(p.clauses[0]))
+        pairs = sum(1 for p in unique if p.num_clauses == 2
+                    and all(index.supports_clause(c) for c in p))
+        assert stats.indexed_ranges + stats.indexed_sets == singles
+        assert (stats.indexed_conjunctions
+                + stats.conjunction_fallbacks >= pairs)
+
+    if workers is not None and workers > 1:
+        parallel = InfluenceScorer(problem, cache_scores=False,
+                                   workers=workers,
+                                   batch_chunk=batch_chunk or 8,
+                                   **scorer_kwargs)
+        try:
+            via_parallel = parallel.score_batch(
+                predicates, ignore_holdouts=ignore_holdouts)
+            np.testing.assert_array_equal(via_parallel, scalar)
+            for name in ROUTING_COUNTERS:
+                assert getattr(parallel.stats, name) == \
+                    getattr(stats, name), name
+            if expect_pool:
+                assert parallel.stats.parallel_shards > 0, "pool was never used"
+        finally:
+            parallel.close()
+    return via_index
+
+
+@pytest.fixture
+def scoring_oracle():
+    """The differential oracle as a fixture (see
+    :func:`assert_scoring_paths_agree`)."""
+    return assert_scoring_paths_agree
 
 SENSOR_SCHEMA = Schema([
     ColumnSpec("time", ColumnKind.DISCRETE),

@@ -1,0 +1,85 @@
+"""Seeded end-to-end golden test at the API surface.
+
+``Scorpion.explain`` funnels every candidate predicate through the
+influence scorer, so planner-routing drift anywhere in the stack —
+range tier, discrete-bucket tier, conjunction tier, mask kernel,
+parallel shards — would surface here as a different explanation.  On a
+fixed synthetic dataset, the default run, the ``use_index=False`` run
+(CLI ``--no-index``), and the ``workers=2`` run (CLI ``--workers 2``)
+must return identical top predicates and influences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates import Sum
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.query.groupby import GroupByQuery
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+
+def golden_problem(seed: int = 11) -> ScorpionQuery:
+    """A planted SUM workload with one continuous and one discrete
+    explanation attribute, so the search emits single ranges, single
+    set clauses, and 2-clause conjunctions — every index tier."""
+    rng = np.random.default_rng(seed)
+    n_per_group, groups = 120, ["g0", "g1", "g2", "g3"]
+    n = n_per_group * len(groups)
+    g = np.repeat(groups, n_per_group)
+    a1 = rng.uniform(0, 100, n)
+    state = rng.choice(["CA", "NY", "TX", "WA"], n)
+    value = np.ones(n)
+    hot = (np.isin(g, ["g0", "g1"]) & (state == "TX")
+           & (a1 >= 40) & (a1 <= 60))
+    value[hot] = 40.0
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("state", ColumnKind.DISCRETE),
+        ColumnSpec("value", ColumnKind.CONTINUOUS),
+    ])
+    table = Table.from_columns(schema, {
+        "g": g, "a1": a1, "state": state, "value": value,
+    })
+    return ScorpionQuery(table, GroupByQuery("g", Sum(), "value"),
+                         outliers=["g0", "g1"], holdouts=["g2", "g3"],
+                         error_vectors=+1.0, c=0.5)
+
+
+def explanation_signature(result):
+    return [(e.predicate, e.influence) for e in result.explanations]
+
+
+@pytest.mark.parametrize("algorithm", ["dt", "mc"])
+def test_explain_identical_across_scoring_paths(algorithm):
+    problem = golden_problem()
+    default = Scorpion(algorithm=algorithm, use_cache=False,
+                       batch_chunk=32).explain(problem)
+    no_index = Scorpion(algorithm=algorithm, use_cache=False,
+                        batch_chunk=32, use_index=False).explain(problem)
+    parallel = Scorpion(algorithm=algorithm, use_cache=False,
+                        batch_chunk=32, workers=2).explain(problem)
+
+    assert explanation_signature(default) == explanation_signature(no_index)
+    assert explanation_signature(default) == explanation_signature(parallel)
+
+    # The default run actually exercised the index; the --no-index run
+    # never touched it; the parallel run routed identically.
+    assert default.scorer_stats["indexed_predicates"] > 0
+    assert no_index.scorer_stats["indexed_predicates"] == 0
+    for name in ("indexed_predicates", "indexed_ranges", "indexed_sets",
+                 "indexed_conjunctions", "masked_predicates"):
+        assert parallel.scorer_stats[name] == default.scorer_stats[name], name
+
+
+def test_default_run_exercises_new_tiers():
+    """The planted workload's best explanation is a conjunction (hot
+    region = a1 range × state set), so the search must hit the
+    conjunction tier; DT's discrete splits also emit set clauses."""
+    result = Scorpion(algorithm="dt", use_cache=False,
+                      batch_chunk=32).explain(golden_problem())
+    assert result.scorer_stats["indexed_conjunctions"] > 0
+    best = result.best.predicate
+    assert best is not None
+    assert "state" in best.attributes or "a1" in best.attributes

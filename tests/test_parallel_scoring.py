@@ -24,7 +24,7 @@ from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
 from repro.query.groupby import GroupByQuery
 
-from tests.conftest import planted_sum_table
+from tests.conftest import assert_scoring_paths_agree, planted_sum_table
 
 #: Integer counters that must be identical between a serial and a
 #: parallel run of the same batches (timing counters and the
@@ -32,8 +32,9 @@ from tests.conftest import planted_sum_table
 COMPARED_COUNTERS = (
     "predicate_scores", "mask_scores", "incremental_deltas",
     "full_recomputes", "cache_hits", "batch_calls", "batch_predicates",
-    "largest_batch", "indexed_predicates", "masked_predicates",
-    "index_builds",
+    "largest_batch", "indexed_predicates", "indexed_ranges",
+    "indexed_sets", "indexed_conjunctions", "conjunction_fallbacks",
+    "masked_predicates", "index_builds",
 )
 
 
@@ -45,25 +46,44 @@ def make_problem(aggregate, c: float = 0.5, **kwargs) -> ScorpionQuery:
 
 
 def routed_batch(n: int = 24) -> list[Predicate]:
-    """Single continuous ranges — the prefix-index fast-path shape."""
+    """Single continuous ranges — the range-tier shape."""
     return [Predicate([RangeClause("a1", 4.0 * i, 4.0 * i + 22.0,
                                    include_hi=bool(i % 2))])
             for i in range(n)]
 
 
-def masked_batch(n: int = 12) -> list[Predicate]:
-    """Conjunctions and set clauses — mask-matrix kernel shapes,
-    including empty-match and whole-group-deletion edge cases."""
+def set_batch() -> list[Predicate]:
+    """Single set clauses — the discrete-bucket-tier shape, including a
+    value the table never takes (empty buckets everywhere)."""
+    return [
+        Predicate([SetClause("state", ["TX"])]),
+        Predicate([SetClause("state", ["CA", "NY"])]),
+        Predicate([SetClause("state", ["CA", "TX", "WA"])]),
+        Predicate([SetClause("state", ["ZZ"])]),  # matches nothing
+    ]
+
+
+def conj_batch(n: int = 12) -> list[Predicate]:
+    """2-clause conjunctions — the probe tier shape, with widths swept
+    so either side can be the rarer one."""
     batch = [Predicate([RangeClause("a1", 8.0 * i, 8.0 * i + 30.0),
                         SetClause("state", ["TX", "CA"])])
              for i in range(n)]
-    batch.append(Predicate([SetClause("state", ["ZZ"])]))  # matches nothing
-    batch.append(Predicate.true())                         # deletes groups
+    batch.append(Predicate([RangeClause("a1", 49.0, 51.0),
+                            SetClause("state", ["TX"])]))
+    batch.append(Predicate([RangeClause("a1", 0.0, 100.0),
+                            SetClause("state", ["ZZ"])]))  # empty probe
     return batch
 
 
+def masked_batch() -> list[Predicate]:
+    """Mask-kernel shapes: TRUE deletes whole groups and has no clause
+    for any tier to route."""
+    return [Predicate.true()]
+
+
 def mixed_batch() -> list[Predicate]:
-    batch = routed_batch() + masked_batch()
+    batch = routed_batch() + set_batch() + conj_batch() + masked_batch()
     batch.append(batch[0])  # duplicate submission
     return batch
 
@@ -72,21 +92,12 @@ def assert_parallel_equals_serial(problem, batch, workers: int,
                                   batch_chunk: int = 8,
                                   ignore_holdouts: bool = False,
                                   **scorer_kwargs) -> None:
-    serial = InfluenceScorer(problem, cache_scores=False, workers=1,
-                             **scorer_kwargs)
-    expected = serial.score_batch(batch, ignore_holdouts=ignore_holdouts)
-    parallel = InfluenceScorer(problem, cache_scores=False, workers=workers,
-                               batch_chunk=batch_chunk, **scorer_kwargs)
-    try:
-        got = parallel.score_batch(batch, ignore_holdouts=ignore_holdouts)
-        np.testing.assert_array_equal(got, expected)
-        assert parallel.stats.parallel_shards > 0, "pool was never used"
-        for name in ("incremental_deltas", "full_recomputes",
-                     "indexed_predicates", "masked_predicates",
-                     "index_builds"):
-            assert getattr(parallel.stats, name) == getattr(serial.stats, name), name
-    finally:
-        parallel.close()
+    """All four oracle legs, with the parallel leg required to actually
+    use the worker pool."""
+    assert_scoring_paths_agree(problem, batch, workers=workers,
+                               batch_chunk=batch_chunk,
+                               ignore_holdouts=ignore_holdouts,
+                               expect_pool=True, **scorer_kwargs)
 
 
 class TestParallelEquivalence:
@@ -112,10 +123,12 @@ class TestParallelEquivalence:
                                       mixed_batch(), workers=2)
 
     def test_black_box_aggregate(self):
-        # Median has no incremental removal: shards recompute per
-        # predicate from the shared agg-value views.
+        # Median has no incremental removal: no index exists, every
+        # shape takes mask shards that recompute per predicate from the
+        # shared agg-value views.
         assert_parallel_equals_serial(make_problem(Median()),
-                                      masked_batch() + routed_batch(8),
+                                      masked_batch() + set_batch()
+                                      + conj_batch(6) + routed_batch(8),
                                       workers=2)
 
     def test_fractional_c(self):

@@ -32,6 +32,8 @@ from repro.predicates.predicate import Predicate
 from repro.query.groupby import GroupByQuery
 from repro.table import ColumnKind, ColumnSpec, Schema, Table
 
+from tests.conftest import assert_scoring_paths_agree
+
 SCHEMA = Schema([
     ColumnSpec("g", ColumnKind.DISCRETE),
     ColumnSpec("a1", ColumnKind.CONTINUOUS),
@@ -88,24 +90,10 @@ def range_predicates(draw) -> Predicate:
 def assert_three_paths_equal(problem: ScorpionQuery,
                              predicates: list[Predicate],
                              ignore_holdouts: bool = False) -> np.ndarray:
-    indexed = InfluenceScorer(problem, cache_scores=False)
-    masked = InfluenceScorer(problem, cache_scores=False, use_index=False)
-    scalar_scorer = InfluenceScorer(problem, cache_scores=False,
-                                    use_index=False)
-    via_index = indexed.score_batch(predicates,
-                                    ignore_holdouts=ignore_holdouts)
-    via_mask = masked.score_batch(predicates,
-                                  ignore_holdouts=ignore_holdouts)
-    scalar = np.asarray([
-        scalar_scorer.score(p, ignore_holdouts=ignore_holdouts)
-        for p in predicates
-    ])
-    np.testing.assert_array_equal(via_index, via_mask)
-    np.testing.assert_array_equal(via_index, scalar)
-    if predicates and indexed.uses_index:
-        assert indexed.stats.indexed_predicates > 0
-        assert masked.stats.indexed_predicates == 0
-    return via_index
+    """Drive the shared differential oracle (scalar / mask / index), the
+    historical three-path check this file was built around."""
+    return assert_scoring_paths_agree(problem, predicates,
+                                      ignore_holdouts=ignore_holdouts)
 
 
 class TestExactSummable:
@@ -258,10 +246,10 @@ class TestRoutingAndPlanner:
         problem = build_problem(Avg())
         scorer = InfluenceScorer(problem, cache_scores=False)
         batch = [
-            Predicate([RangeClause("a1", 1.0, 3.0)]),              # indexed
-            Predicate([RangeClause("a2", 1.0, 3.0)]),              # indexed
+            Predicate([RangeClause("a1", 1.0, 3.0)]),              # range tier
+            Predicate([RangeClause("a2", 1.0, 3.0)]),              # range tier
             Predicate([RangeClause("a1", 1.0, 3.0),
-                       RangeClause("a2", 0.0, 5.0)]),              # masked
+                       RangeClause("a2", 0.0, 5.0)]),              # conjunction
             Predicate.true(),                                      # masked
             Predicate([SetClause("g", ["o1"])]),                   # scalar
         ]
@@ -269,11 +257,15 @@ class TestRoutingAndPlanner:
                                     use_index=False)
         np.testing.assert_array_equal(
             scorer.score_batch(batch), reference.score_batch(batch))
-        assert scorer.stats.indexed_predicates == 2
-        # The conjunction and TRUE take the mask kernel; the group-by
-        # clause is outside the labeled evaluator → scalar fallback.
-        assert scorer.stats.masked_predicates == 2
-        assert scorer.stats.mask_scores == 3
+        assert scorer.stats.indexed_predicates == 3
+        assert scorer.stats.indexed_ranges == 2
+        assert scorer.stats.indexed_conjunctions == 1
+        assert scorer.stats.indexed_sets == 0
+        assert scorer.stats.conjunction_fallbacks == 0
+        # TRUE takes the mask kernel; the group-by clause is outside the
+        # labeled evaluator → scalar fallback.
+        assert scorer.stats.masked_predicates == 1
+        assert scorer.stats.mask_scores == 2
 
     def test_planner_rejects_black_box_aggregates(self):
         scorer = InfluenceScorer(build_problem(Median()), cache_scores=False)
@@ -387,8 +379,14 @@ class TestEndToEndSurface:
         record = RunRecord(algorithm="naive", c=0.5, predicate=None,
                            influence=0.0, runtime=0.0,
                            scorer_stats={"indexed_predicates": 7,
+                                         "indexed_ranges": 4,
+                                         "indexed_sets": 2,
+                                         "indexed_conjunctions": 1,
                                          "masked_predicates": 3})
         assert record.indexed_predicates == 7
+        assert record.indexed_ranges == 4
+        assert record.indexed_sets == 2
+        assert record.indexed_conjunctions == 1
         assert record.masked_predicates == 3
         assert RunRecord(algorithm="naive", c=0.5, predicate=None,
                          influence=0.0, runtime=0.0).indexed_predicates == 0

@@ -20,7 +20,12 @@ from repro.predicates.predicate import Predicate
 from repro.query.groupby import GroupByQuery
 from repro.table.table import Table
 
-from tests.conftest import SENSOR_ROWS, SENSOR_SCHEMA, planted_sum_table
+from tests.conftest import (
+    SENSOR_ROWS,
+    SENSOR_SCHEMA,
+    assert_scoring_paths_agree,
+    planted_sum_table,
+)
 
 
 def sensors_problem(aggregate=None, perturbation="delete",
@@ -62,12 +67,13 @@ def assert_batch_equals_scalar(scorer: InfluenceScorer,
 
 
 class TestEquivalenceProperty:
+    """Random conjunctions through the shared differential oracle
+    (scalar / mask kernel / index-routed scoring must agree exactly)."""
+
     @settings(max_examples=40, deadline=None)
     @given(predicates=st.lists(sensor_predicates(), max_size=12))
     def test_incremental_path(self, predicates):
-        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
-        assert scorer.uses_incremental
-        assert_batch_equals_scalar(scorer, predicates)
+        assert_scoring_paths_agree(sensors_problem(), predicates)
 
     @settings(max_examples=40, deadline=None)
     @given(predicates=st.lists(sensor_predicates(), max_size=8),
@@ -75,28 +81,27 @@ class TestEquivalenceProperty:
     def test_fractional_c_exponents(self, predicates, c):
         # Vectorized ``**`` differs from scalar pow in the last ulp on
         # some inputs; the denominators must go through scalar pow.
-        scorer = InfluenceScorer(sensors_problem(c=c), cache_scores=False)
-        assert_batch_equals_scalar(scorer, predicates)
+        assert_scoring_paths_agree(sensors_problem(c=c), predicates)
 
     @settings(max_examples=20, deadline=None)
     @given(predicates=st.lists(sensor_predicates(), max_size=8))
     def test_black_box_path(self, predicates):
         scorer = InfluenceScorer(sensors_problem(Median()), cache_scores=False)
         assert not scorer.uses_incremental
-        assert_batch_equals_scalar(scorer, predicates)
+        assert not scorer.uses_index
+        assert_scoring_paths_agree(sensors_problem(Median()), predicates)
 
     @settings(max_examples=20, deadline=None)
     @given(predicates=st.lists(sensor_predicates(), max_size=8))
     def test_ignore_holdouts(self, predicates):
-        scorer = InfluenceScorer(sensors_problem(), cache_scores=False)
-        assert_batch_equals_scalar(scorer, predicates, ignore_holdouts=True)
+        assert_scoring_paths_agree(sensors_problem(), predicates,
+                                   ignore_holdouts=True)
 
     @settings(max_examples=20, deadline=None)
     @given(predicates=st.lists(sensor_predicates(), max_size=8))
     def test_mean_perturbation(self, predicates):
-        scorer = InfluenceScorer(sensors_problem(perturbation="mean"),
-                                 cache_scores=False)
-        assert_batch_equals_scalar(scorer, predicates)
+        assert_scoring_paths_agree(sensors_problem(perturbation="mean"),
+                                   predicates)
 
 
 class TestEdgeCases:
@@ -120,9 +125,10 @@ class TestEdgeCases:
         p = Predicate([SetClause("sensorid", [3])])
         batched = scorer.score_batch([p, p, p])
         assert batched[0] == batched[1] == batched[2] == scorer.score(p)
-        # Three submissions, one mask evaluation for the trio + one for
-        # the scalar call.
-        assert scorer.stats.mask_scores == 2
+        # Three submissions, one discrete-bucket evaluation for the trio
+        # + one mask evaluation for the scalar call.
+        assert scorer.stats.indexed_sets == 1
+        assert scorer.stats.mask_scores == 1
 
     def test_non_rest_attribute_falls_back(self):
         scorer = InfluenceScorer(sensors_problem(), cache_scores=False)

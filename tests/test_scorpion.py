@@ -117,7 +117,12 @@ class TestExplanations:
     def test_result_metadata(self, sum_problem):
         result = Scorpion(algorithm="mc").explain(sum_problem)
         assert result.elapsed > 0
-        assert result.scorer_stats["mask_scores"] > 0
+        # MC's 1-clause cells and 2-clause intersections all fit the
+        # index tiers on this problem, so the mask kernel may see zero
+        # predicates — but *something* must have been scored.
+        scored = (result.scorer_stats["mask_scores"]
+                  + result.scorer_stats["indexed_predicates"])
+        assert scored > 0
 
 
 class TestAutoAttributeSelection:
