@@ -1,20 +1,30 @@
 """Sharded parallel scoring vs worker count (the parallel tentpole).
 
 Scores one large predicate batch through ``InfluenceScorer.score_batch``
-at increasing ``workers`` settings, on the two hot shard shapes:
+at increasing ``workers`` settings, on the three hot shard shapes:
 
-* *mask kernel* — 2-clause range conjunctions (never index-eligible),
-  so every shard is an ``evaluate_batch`` + scatter-add pass in a
-  worker;
+* *mask kernel* — 2-clause range conjunctions with the index tiers
+  priced out (``force_mask_model``), so every shard is an
+  ``evaluate_batch`` + scatter-add pass in a worker;
 * *index routed* — single-clause ranges with the prefix-aggregate index
-  prepared, so shards are binary-search/prefix lookups against the
-  shared index views.
+  prepared and the mask kernel priced out (``force_index_model``), so
+  shards are binary-search/prefix lookups against the shared index
+  views;
+* *group sharded* — a batch far smaller than ``workers × batch_chunk``
+  over a many-group problem, so the predicate axis alone cannot keep
+  the pool busy and the cost model tiles the **group axis** instead:
+  shards become (predicate-chunk × group-range) tiles whose per-group
+  partials the parent reassembles.
 
-Influences and stats counters must be identical at every worker count
-(the parallel equivalence contract; always asserted, including in CI
-smoke runs).  Predicates/second is measured after a warm-up batch so
-pool spin-up and shared-memory packing are reported separately
-(``spinup_ms``) rather than folded into throughput.
+Per shape the cost model is pinned, so the routing — and therefore the
+work a shard does — is identical on every machine; what varies with
+``workers`` is only the sharding.  Influences and stats counters
+(routing and cost decisions included) must be identical at every worker
+count (the parallel equivalence contract; always asserted, including in
+CI smoke runs), and the group-sharded shape must actually produce group
+tiles at ``workers >= 2``.  Predicates/second is measured after a
+warm-up batch so pool spin-up and shared-memory packing are reported
+separately (``spinup_ms``) rather than folded into throughput.
 
 The wall-clock expectation — the ISSUE 4 acceptance bar — is ≥ 2.5×
 predicates/sec at 4 workers over serial on the mask-kernel shape at
@@ -30,10 +40,16 @@ import time
 
 import numpy as np
 
+from repro.aggregates import Sum
 from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
 from repro.eval import format_table
+from repro.index import force_index_model, force_mask_model
 from repro.predicates.clause import RangeClause
 from repro.predicates.predicate import Predicate
+from repro.query.groupby import GroupByQuery
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+from repro.table.table import Table
 
 from benchmarks.conftest import (
     SCALE,
@@ -49,12 +65,21 @@ BATCH_SIZE = 4096 if SCALE == "paper" else 1536
 #: worker in flight (sharding never affects results).
 BATCH_CHUNK = 128
 WORKER_SWEEP = (1, 2, 4, 8) if SCALE == "paper" else (1, 2, 4)
-#: Counters that must match across worker counts (timing and the
+#: The group-sharded shape: far fewer predicates than
+#: ``workers × BATCH_CHUNK`` (one predicate shard), over many groups.
+GROUP_SHARD_BATCH = 48
+GROUP_SHARD_GROUPS = 64
+GROUP_SHARD_GROUP_SIZE = 300
+#: Counters that must match across worker counts — kernel totals,
+#: routing tallies, and the cost model's decisions (timing and the
 #: parallel-only shard counters excluded by design).
 COMPARED_COUNTERS = (
     "predicate_scores", "mask_scores", "incremental_deltas",
     "full_recomputes", "batch_calls", "batch_predicates",
-    "indexed_predicates", "masked_predicates", "index_builds",
+    "indexed_predicates", "indexed_ranges", "indexed_sets",
+    "indexed_conjunctions", "conjunction_fallbacks", "masked_predicates",
+    "index_builds", "cost_routed_mask", "cost_routed_prefix",
+    "cost_routed_bucket", "cost_routed_gather", "cost_routed_conj",
 )
 
 
@@ -92,10 +117,39 @@ def _routed_batch(n: int) -> list[Predicate]:
     return batch
 
 
-def _run_config(problem, batch, workers: int, prepare: tuple[str, ...]):
+def _many_group_problem() -> ScorpionQuery:
+    """A SUM workload over ``GROUP_SHARD_GROUPS`` labeled groups — the
+    shape where the group axis, not the predicate axis, carries the
+    parallelism."""
+    rng = np.random.default_rng(31)
+    groups = [f"g{i:02d}" for i in range(GROUP_SHARD_GROUPS)]
+    n = GROUP_SHARD_GROUP_SIZE * len(groups)
+    g = np.repeat(groups, GROUP_SHARD_GROUP_SIZE)
+    a1 = rng.uniform(0.0, 100.0, n)
+    a2 = rng.uniform(0.0, 100.0, n)
+    av = np.abs(rng.normal(10.0, 5.0, n)) + 0.25
+    outliers = groups[: len(groups) // 2]
+    hot = (np.isin(g, outliers) & (a1 >= 40) & (a1 <= 60)
+           & (a2 >= 20) & (a2 <= 50))
+    av[hot] += 25.0
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("a2", ColumnKind.CONTINUOUS),
+        ColumnSpec("av", ColumnKind.CONTINUOUS),
+    ])
+    table = Table.from_columns(schema, {"g": g, "a1": a1, "a2": a2, "av": av})
+    return ScorpionQuery(table, GroupByQuery("g", Sum(), "av"),
+                         outliers=outliers,
+                         holdouts=groups[len(groups) // 2:],
+                         error_vectors=+1.0, c=0.5)
+
+
+def _run_config(problem, batch, workers: int, prepare: tuple[str, ...],
+                cost_model, expect_tiles: bool):
     """One (shape, workers) measurement: spin-up, timed batch, counters."""
     scorer = InfluenceScorer(problem, cache_scores=False, workers=workers,
-                             batch_chunk=BATCH_CHUNK)
+                             batch_chunk=BATCH_CHUNK, cost_model=cost_model)
     try:
         if prepare:
             scorer.prepare_index(prepare)
@@ -111,6 +165,9 @@ def _run_config(problem, batch, workers: int, prepare: tuple[str, ...]):
         if workers > 1:
             assert scorer.stats.parallel_shards > 0, \
                 "parallel run never reached the worker pool"
+            if expect_tiles:
+                assert scorer.stats.parallel_group_shards > 0, \
+                    "group-sharded shape never produced group tiles"
         return values, elapsed, spinup, counters
     finally:
         scorer.close()
@@ -122,15 +179,24 @@ def _experiment():
     sweep = _worker_sweep()
     rows, json_rows = [], []
     speedups: dict[tuple[str, int], float] = {}
-    for shape, batch, prepare in (
-            ("mask-kernel", _masked_batch(BATCH_SIZE), ()),
-            ("index-routed", _routed_batch(BATCH_SIZE), ("a1",))):
+    shapes = (
+        ("mask-kernel", problem, _masked_batch(BATCH_SIZE), (),
+         force_mask_model(), TUPLES_PER_GROUP, False),
+        ("index-routed", problem, _routed_batch(BATCH_SIZE), ("a1",),
+         force_index_model(), TUPLES_PER_GROUP, False),
+        ("group-sharded", _many_group_problem(),
+         _masked_batch(GROUP_SHARD_BATCH), (), force_mask_model(),
+         GROUP_SHARD_GROUP_SIZE, True),
+    )
+    for (shape, shape_problem, batch, prepare, cost_model, group_size,
+         expect_tiles) in shapes:
         baseline_values = None
         baseline_counters = None
         baseline_time = None
         for workers in sweep:
             values, elapsed, spinup, counters = _run_config(
-                problem, batch, workers, prepare)
+                shape_problem, batch, workers, prepare, cost_model,
+                expect_tiles and workers > 1)
             if baseline_values is None:
                 baseline_values = values
                 baseline_counters = counters
@@ -152,7 +218,7 @@ def _experiment():
             ])
             json_rows.append({
                 "shape": shape,
-                "tuples_per_group": TUPLES_PER_GROUP,
+                "tuples_per_group": group_size,
                 "batch_size": len(batch),
                 "batch_chunk": BATCH_CHUNK,
                 "workers": workers,
@@ -170,13 +236,16 @@ def test_parallel_scaling(benchmark):
     emit_report("parallel_scaling", format_table(
         "Sharded parallel scoring vs worker count "
         f"(batch {BATCH_SIZE}, chunk {BATCH_CHUNK}, "
-        f"{TUPLES_PER_GROUP} tuples/group, {os.cpu_count()} CPUs)",
+        f"{TUPLES_PER_GROUP} tuples/group; group-sharded shape: "
+        f"{GROUP_SHARD_BATCH} predicates over {GROUP_SHARD_GROUPS} groups "
+        f"of {GROUP_SHARD_GROUP_SIZE}, {os.cpu_count()} CPUs)",
         ["shape", "workers", "batch", "batch ms", "preds/s",
          "speedup", "spinup ms"], rows))
     emit_bench_json("parallel_scaling", {
         "description": "score_batch sharded over worker processes: "
-                       "predicates/second vs workers on mask-kernel and "
-                       "index-routed shapes (serial equality and counter "
+                       "predicates/second vs workers on mask-kernel, "
+                       "index-routed, and group-sharded (few predicates, "
+                       "many groups) shapes (serial equality and counter "
                        "parity asserted)",
         "rows": json_rows,
     })

@@ -21,12 +21,22 @@ index tier:
 
 All three result vectors must match exactly (the equivalence contract;
 always asserted), and the routed tier is checked through the
-``scorer_stats`` counters.  The wall-clock expectation — the acceptance
-bars of the index PRs — is that at ≥2000 tuples/group the index path
-beats the mask-matrix path outright on every tier, and by ≥2× on the
-discrete bucket tier.  Timing assertions are skipped when
-``SCORPION_BENCH_PERF_ASSERT=0`` (CI smoke runs keep only the equality
-checks).
+``scorer_stats`` counters.  Routing is pinned to the shipped
+:data:`~repro.index.DEFAULT_CONSTANTS` (not the machine-calibrated
+singleton) so the counters below are reproducible anywhere; on the
+conjunction batch the cost model legitimately splits the batch —
+narrow probes take the conjunction tier, unselective ones the mask
+kernel — so that case asserts the split, not full-tier routing.
+
+The wall-clock expectation — the acceptance bars of the index PRs — is
+that at ≥2000 tuples/group the index path beats the mask-matrix path
+outright on every tier, by ≥2× on the discrete bucket tier, and that
+cost-routed conjunctions never lose to the plain mask kernel
+(≥ 1.0×) at *any* group size, 500 tuples/group included — the shape
+the old ``PROBE_FRACTION_CAP`` heuristic used to misroute.  Timing is
+min-of-2 per path to damp scheduler noise.  Timing assertions are
+skipped when ``SCORPION_BENCH_PERF_ASSERT=0`` (CI smoke runs keep only
+the equality checks).
 """
 
 import os
@@ -37,6 +47,7 @@ import numpy as np
 from repro.aggregates import Sum
 from repro.core.influence import InfluenceScorer
 from repro.core.problem import ScorpionQuery
+from repro.index import DEFAULT_CONSTANTS, CostModel
 from repro.eval import format_table
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
@@ -161,12 +172,28 @@ def _integer_sum_problem(problem: ScorpionQuery) -> ScorpionQuery:
     )
 
 
+def _timed_batch(scorer, batch, reps: int = 2):
+    """Score ``batch`` ``reps`` times, returning the values and the
+    best wall-clock (stats reset between reps, so counters afterwards
+    reflect exactly one pass)."""
+    best, values = float("inf"), None
+    for _ in range(reps):
+        scorer.reset_stats()
+        started = time.perf_counter()
+        values = scorer.score_batch(batch)
+        best = min(best, time.perf_counter() - started)
+    return values, best
+
+
 def _time_paths(problem, batch, tier: str, prepare=("a1",),
-                routing_counter: str = "indexed_ranges"):
+                routing_counter: str = "indexed_ranges",
+                mixed_routing: bool = False):
     """Score one batch through all three paths; returns the report row,
     the json row, and the index-vs-mask speedup.  ``routing_counter``
     names the ``scorer_stats`` tier counter every unique predicate of
-    the batch must land in."""
+    the batch must land in; with ``mixed_routing`` the cost model is
+    instead expected to split the batch between that tier and the mask
+    kernel (and must use the tier at least once)."""
     scalar_batch = batch[:SCALAR_BATCH_CAP]
     scalar_scorer = InfluenceScorer(problem, cache_scores=False,
                                     use_index=False)
@@ -176,22 +203,26 @@ def _time_paths(problem, batch, tier: str, prepare=("a1",),
 
     mask_scorer = InfluenceScorer(problem, cache_scores=False,
                                   use_index=False)
-    started = time.perf_counter()
-    via_mask = mask_scorer.score_batch(batch)
-    mask_time = time.perf_counter() - started
+    via_mask, mask_time = _timed_batch(mask_scorer, batch)
 
-    index_scorer = InfluenceScorer(problem, cache_scores=False)
+    index_scorer = InfluenceScorer(problem, cache_scores=False,
+                                   cost_model=CostModel(DEFAULT_CONSTANTS))
     index_scorer.prepare_index(prepare)
     build_time = index_scorer.stats.index_build_seconds
-    started = time.perf_counter()
-    via_index = index_scorer.score_batch(batch)
-    index_time = time.perf_counter() - started
+    via_index, index_time = _timed_batch(index_scorer, batch)
 
     # The equivalence contract — asserted even in smoke runs.
     np.testing.assert_array_equal(via_index, via_mask)
     np.testing.assert_array_equal(via_index[:len(scalar)], scalar)
-    assert index_scorer.stats.indexed_predicates == len(set(batch))
-    assert getattr(index_scorer.stats, routing_counter) == len(set(batch))
+    stats = index_scorer.stats
+    routed = getattr(stats, routing_counter)
+    if mixed_routing:
+        assert routed + stats.conjunction_fallbacks == len(set(batch))
+        assert routed > 0, f"{tier}: cost model never picked the tier"
+        assert stats.cost_routed_conj == routed
+    else:
+        assert stats.indexed_predicates == len(set(batch))
+        assert routed == len(set(batch))
 
     group_size = problem.outlier_results[0].group_size
     speedup = mask_time / index_time if index_time > 0 else float("inf")
@@ -245,7 +276,8 @@ def _experiment():
         for tier, problem, batch, prepare, counter in cases:
             row, json_row, speedup = _time_paths(
                 problem, batch, tier, prepare=prepare,
-                routing_counter=counter)
+                routing_counter=counter,
+                mixed_routing=(tier == "conj/sum"))
             rows.append(row)
             json_rows.append(json_row)
             speedups[(tier, group_size)] = speedup
@@ -270,6 +302,14 @@ def test_index_beats_mask_matrix(benchmark):
     if os.environ.get("SCORPION_BENCH_PERF_ASSERT", "1") == "0":
         return
     for (tier, group_size), speedup in speedups.items():
+        if tier == "conj/sum":
+            # Cost-routed conjunctions must never lose to the plain
+            # mask kernel — at any group size, 500 tuples/group
+            # included (the shape the fraction-cap heuristic misrouted).
+            assert speedup >= 1.0, (
+                f"cost-routed conjunctions lost to the mask kernel at "
+                f"{group_size} tuples/group (speedup {speedup:.2f})")
+            continue
         if group_size not in ASSERT_GROUP_SIZES:
             continue
         bar = BUCKET_SPEEDUP_BAR if tier.startswith("bucket") else 1.0

@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: SCORPION_WORKERS env var or 1 = "
                              "serial; 0 = one per CPU; results are "
                              "bit-for-bit identical at any setting)")
+    parser.add_argument("--group-chunk", type=int, default=None,
+                        help="contexts per group-axis tile for parallel "
+                             "scoring (default: SCORPION_GROUP_CHUNK env "
+                             "var or cost-model auto; 0 disables group "
+                             "tiling; results are unaffected)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-shard worker deadline in seconds "
+                             "(default: SCORPION_TASK_TIMEOUT env var or "
+                             "300; <= 0 waits forever)")
     return parser
 
 
@@ -124,7 +133,9 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         scorpion = Scorpion(algorithm=args.algorithm, top_k=args.top_k,
                             use_index=not args.no_index,
                             batch_chunk=args.batch_chunk,
-                            workers=args.workers)
+                            workers=args.workers,
+                            group_chunk=args.group_chunk,
+                            task_timeout=args.task_timeout)
         if args.explore_c:
             exploration = CExplorer(scorpion).explore(problem)
             print(exploration.to_string(), file=out)

@@ -120,6 +120,7 @@ from repro.aggregates.base import AggregateFunction
 from repro.core.problem import ScorpionQuery
 from repro.errors import AggregateError, PredicateError
 from repro.index import IndexPlanner, PrefixAggregateIndex
+from repro.index.cost import CostModel, calibration_count
 from repro.parallel import resolve_workers
 from repro.predicates.clause import RangeClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
@@ -232,6 +233,26 @@ class ScorerStats:
     parallel_batches: int = 0
     #: Predicate shards executed by worker processes.
     parallel_shards: int = 0
+    #: (predicate-chunk × group-range) tiles executed by worker
+    #: processes — the group-axis sharding dimension; zero when only
+    #: the predicate axis was sharded.
+    parallel_group_shards: int = 0
+    #: Cost-model routing decisions by winning route (counted in the
+    #: parent at partition time, so serial and parallel runs of the
+    #: same batch stream record identical values).  Only index-eligible
+    #: shapes are priced; structurally unsupported predicates go to the
+    #: mask kernel without a decision and appear in none of these.
+    cost_routed_mask: int = 0
+    cost_routed_prefix: int = 0
+    cost_routed_bucket: int = 0
+    cost_routed_gather: int = 0
+    cost_routed_conj: int = 0
+    #: Microcalibration passes run by this process's shared
+    #: :class:`~repro.index.cost.CostModel` — a gauge snapshot (set,
+    #: not incremented, on every ``score_batch``): 0 with
+    #: ``SCORPION_COST_CALIBRATE=off``, 1 after the first calibrated
+    #: routing decision, never more within one process.
+    cost_calibrations: int = 0
 
     #: Counters incremented *inside* the batch kernels and therefore on
     #: worker processes when scoring runs parallel; :meth:`worker_counters`
@@ -313,12 +334,38 @@ class InfluenceScorer:
         environment variable, else 1 (serial, no pool); ``0`` means one
         worker per CPU.  Results are bit-for-bit identical at any
         setting.
+    cost_model:
+        The :class:`~repro.index.cost.CostModel` pricing the planner's
+        routing decisions.  ``None`` (default) resolves the
+        process-wide shared model lazily on first use — calibrated
+        once per process unless ``SCORPION_COST_CALIBRATE=off``.
+        Tests inject :func:`~repro.index.cost.force_index_model` /
+        :func:`~repro.index.cost.force_mask_model` constants to pin a
+        tier regardless of problem shape.
+    group_chunk:
+        Group-axis sharding granularity for parallel batches: contexts
+        per (predicate-chunk × group-range) tile.  ``None`` (default,
+        or the ``SCORPION_GROUP_CHUNK`` environment variable) lets the
+        cost model pick — tiling engages only when the predicate axis
+        alone cannot feed every worker and the per-tile work clears
+        the dispatch overhead.  ``0`` disables group tiling; ``>= 1``
+        forces that tile height.  Tiling never affects results: tiles
+        return per-group partial sums the parent reassembles into the
+        exact arrays the serial kernel computes.
+    task_timeout:
+        Per-shard worker deadline in seconds, forwarded to the
+        executor (``None`` → the ``SCORPION_TASK_TIMEOUT`` /
+        legacy ``SCORPION_WORKER_TIMEOUT`` environment variables, else
+        the executor default; ``<= 0`` waits forever).
     """
 
     def __init__(self, query: ScorpionQuery, use_incremental: bool = True,
                  cache_scores: bool = True, use_index: bool = True,
                  batch_chunk: int | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 cost_model: "CostModel | None" = None,
+                 group_chunk: int | None = None,
+                 task_timeout: float | None = None):
         self.query = query
         self.aggregate: AggregateFunction = query.aggregate
         self.lam = query.lam
@@ -338,6 +385,17 @@ class InfluenceScorer:
         if self.batch_chunk < 1:
             raise PredicateError(
                 f"batch_chunk must be >= 1, got {self.batch_chunk}")
+        if group_chunk is None:
+            env_group = os.environ.get("SCORPION_GROUP_CHUNK", "").strip()
+            if env_group:
+                group_chunk = int(env_group)
+        if group_chunk is not None and group_chunk < 0:
+            raise PredicateError(
+                f"group_chunk must be >= 0, got {group_chunk}")
+        #: None = cost model decides per batch; 0 = group tiling off;
+        #: >= 1 = fixed contexts per tile.
+        self.group_chunk = group_chunk
+        self.task_timeout = task_timeout
         self.workers = resolve_workers(workers)
         self._executor = None
         self._parallel_disabled = self.workers <= 1
@@ -405,7 +463,12 @@ class InfluenceScorer:
                 code_tables={attr: evaluator.code_table(attr)
                              for attr in evaluator.discrete_attributes},
             )
-        self._planner = IndexPlanner(self._index)
+        self._planner = IndexPlanner(self._index, cost_model)
+        #: Memoized column-span evaluators for masked group tiles
+        #: (key: labeled-column range) — sliced views over the labeled
+        #: evaluator's arrays, so tile masks are bit-identical slices
+        #: of the full mask matrix.
+        self._span_evaluators: dict[tuple[int, int], ArrayMaskEvaluator] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -697,6 +760,12 @@ class InfluenceScorer:
 
         route = self._planner.partition(pending)
         self.stats.conjunction_fallbacks += route.conjunction_fallbacks
+        self.stats.cost_routed_mask += route.cost_routed_mask
+        self.stats.cost_routed_prefix += route.cost_routed_prefix
+        self.stats.cost_routed_bucket += route.cost_routed_bucket
+        self.stats.cost_routed_gather += route.cost_routed_gather
+        self.stats.cost_routed_conj += route.cost_routed_conj
+        self.stats.cost_calibrations = calibration_count()
         if self._index is not None:
             # Conjunction planning may have built probe-side views.
             self._sync_index_stats()
@@ -713,10 +782,13 @@ class InfluenceScorer:
                     + len(set_shards) + len(conj_shards))
 
         shard_values = None
-        if not self._parallel_disabled and n_shards >= 2:
-            shard_values = self._score_shards_parallel(
-                masked_shards, range_shards, set_shards, conj_shards,
-                ignore_holdouts)
+        if not self._parallel_disabled and n_shards >= 1:
+            group_tiles = self._plan_group_tiles(len(pending), n_shards,
+                                                 ignore_holdouts)
+            if n_shards >= 2 or group_tiles is not None:
+                shard_values = self._score_shards_parallel(
+                    masked_shards, range_shards, set_shards, conj_shards,
+                    ignore_holdouts, group_tiles)
         if shard_values is None:
             shard_values = (
                 [self._score_masked_chunk(chunk, ignore_holdouts)
@@ -778,9 +850,67 @@ class InfluenceScorer:
         (``workers > 1`` and the pool has not failed)."""
         return not self._parallel_disabled
 
+    def prepare_parallel(self) -> bool:
+        """Spin the worker pool (and the shared-memory problem image) up
+        front instead of inside the first parallel batch.
+
+        Round-based drivers (DT partitioning, NAIVE enumeration) call
+        this once before their scoring rounds so pool spin-up is paid a
+        single time per problem rather than showing up as latency on
+        the first round.  Returns True when a pool is live, False on a
+        serial scorer or after a startup failure (which warns and
+        permanently falls back to serial, same as a mid-batch failure).
+        """
+        if self._parallel_disabled:
+            return False
+        try:
+            self._ensure_executor()
+        except Exception as exc:  # noqa: BLE001 - same policy as scoring
+            warnings.warn(
+                f"parallel scoring unavailable ({exc}); using serial "
+                "scoring for this scorer", RuntimeWarning, stacklevel=2)
+            self._disable_parallel()
+            return False
+        return True
+
+    def _plan_group_tiles(self, n_predicates: int, n_shards: int,
+                          ignore_holdouts: bool,
+                          ) -> list[tuple[int, int]] | None:
+        """The group-axis tiling for this batch: a list of context
+        ranges ``[lo, hi)`` partitioning the active contexts, or None
+        to shard the predicate axis only.
+
+        Tiling requires the incremental path (tiles return per-group
+        partial counts/states; black-box scoring needs whole mask rows)
+        and at least two active contexts.  ``group_chunk`` forces the
+        tile height (0 = off); by default the cost model decides — it
+        declines when predicate shards alone keep every worker busy or
+        when per-tile work would drown in dispatch overhead.
+        """
+        if not self._incremental or n_predicates == 0:
+            return None
+        active = self._count_active_contexts(ignore_holdouts)
+        if active < 2:
+            return None
+        chunk = self.group_chunk
+        if chunk == 0:
+            return None
+        if chunk is None:
+            chunk = self._planner.cost_model.choose_tiling(
+                n_predicates, active, self._n_labeled, self.workers,
+                self.batch_chunk)
+            if chunk is None:
+                return None
+        chunk = max(1, int(chunk))
+        if chunk >= active:
+            return None
+        return [(lo, min(lo + chunk, active))
+                for lo in range(0, active, chunk)]
+
     def _score_shards_parallel(self, masked_shards: list, range_shards: list,
                                set_shards: list, conj_shards: list,
-                               ignore_holdouts: bool):
+                               ignore_holdouts: bool,
+                               group_tiles: list[tuple[int, int]] | None = None):
         """Run routed shards on the worker pool.
 
         Returns ``(masked_values, range_values, set_values,
@@ -788,27 +918,50 @@ class InfluenceScorer:
         the serial loops would compute — or None after disabling
         parallelism (any failure: the caller then takes the serial path,
         so scoring always completes).
+
+        With ``group_tiles``, every predicate chunk fans out into one
+        task per (chunk × group-range) tile; tiles return per-group
+        partial counts and removed states which
+        :meth:`_reduce_group_tiles` reassembles into the exact arrays
+        the serial kernel computes before the shared influence fold —
+        so group sharding is invisible in the results.
         """
         try:
             executor = self._ensure_executor()
             tasks: list[tuple] = []
-            for chunk in masked_shards:
-                tasks.append(("masked", list(chunk), ignore_holdouts, ()))
-            for chunk in range_shards:
+            #: Task provenance aligned with ``tasks``: (tier, chunk
+            #: position, tile position or None).
+            meta: list[tuple[int, int, int | None]] = []
+
+            def add_tasks(tier: int, position: int, kind: str,
+                          payload: list, specs: tuple) -> None:
+                if group_tiles is None:
+                    tasks.append((kind, payload, ignore_holdouts, specs,
+                                  None))
+                    meta.append((tier, position, None))
+                    return
+                for ti, bounds in enumerate(group_tiles):
+                    tasks.append((kind, payload, ignore_holdouts, specs,
+                                  bounds))
+                    meta.append((tier, position, ti))
+
+            for ci, chunk in enumerate(masked_shards):
+                add_tasks(0, ci, "masked", list(chunk), ())
+            for ci, chunk in enumerate(range_shards):
                 attrs = sorted({clause.attribute for _, clause in chunk})
                 specs = tuple(self._index_attribute_spec(executor, attr,
                                                          "range")
                               for attr in attrs)
-                tasks.append(("indexed", [clause for _, clause in chunk],
-                              ignore_holdouts, specs))
-            for chunk in set_shards:
+                add_tasks(1, ci, "indexed",
+                          [clause for _, clause in chunk], specs)
+            for ci, chunk in enumerate(set_shards):
                 attrs = sorted({clause.attribute for _, clause in chunk})
                 specs = tuple(self._index_attribute_spec(executor, attr,
                                                          "discrete")
                               for attr in attrs)
-                tasks.append(("indexed_set", [clause for _, clause in chunk],
-                              ignore_holdouts, specs))
-            for chunk in conj_shards:
+                add_tasks(2, ci, "indexed_set",
+                          [clause for _, clause in chunk], specs)
+            for ci, chunk in enumerate(conj_shards):
                 # Ship the probe side's view; the other side only reads
                 # raw arrays every worker already maps.
                 probe_attrs = sorted({
@@ -817,8 +970,8 @@ class InfluenceScorer:
                     for _, plan in chunk})
                 specs = tuple(self._index_attribute_spec(executor, attr, kind)
                               for kind, attr in probe_attrs)
-                tasks.append(("indexed_conj", [plan for _, plan in chunk],
-                              ignore_holdouts, specs))
+                add_tasks(3, ci, "indexed_conj",
+                          [plan for _, plan in chunk], specs)
             results = executor.run(tasks)
         except Exception as exc:  # noqa: BLE001 - availability over purity:
             # a broken pool must never break scoring, only slow it down.
@@ -827,18 +980,55 @@ class InfluenceScorer:
                 "scoring for this scorer", RuntimeWarning, stacklevel=3)
             self._disable_parallel()
             return None
-        values = []
+        per_task = []
         for shard_values, worker_counters in results:
             self.stats.merge_worker_counters(worker_counters)
-            values.append(shard_values)
+            per_task.append(shard_values)
         self.stats.parallel_batches += 1
         self.stats.parallel_shards += len(tasks)
-        bounds = []
-        offset = 0
-        for shards in (masked_shards, range_shards, set_shards, conj_shards):
-            bounds.append((offset, offset + len(shards)))
-            offset += len(shards)
-        return tuple(values[lo:hi] for lo, hi in bounds)
+        values: tuple[list, list, list, list] = (
+            [None] * len(masked_shards), [None] * len(range_shards),
+            [None] * len(set_shards), [None] * len(conj_shards))
+        if group_tiles is None:
+            for (tier, position, _), result in zip(meta, per_task):
+                values[tier][position] = result
+            return values
+        self.stats.parallel_group_shards += len(tasks)
+        partials: dict[tuple[int, int], list] = {}
+        for (tier, position, ti), result in zip(meta, per_task):
+            partials.setdefault((tier, position),
+                                [None] * len(group_tiles))[ti] = result
+        for (tier, position), tile_results in partials.items():
+            values[tier][position] = self._reduce_group_tiles(
+                tile_results, group_tiles, ignore_holdouts)
+        return values
+
+    def _reduce_group_tiles(self, tile_results: list,
+                            group_tiles: list[tuple[int, int]],
+                            ignore_holdouts: bool) -> np.ndarray:
+        """Reassemble one predicate chunk's per-tile partial counts and
+        removed states into full ``(m, n_ctx)`` / ``(m, n_ctx, s)``
+        arrays and run the shared influence fold.
+
+        Every tile's partials are byte-identical slices of what the
+        serial kernel would have produced (same ascending-row bincount
+        accumulation per group), so filling them into zero-initialized
+        full-width arrays reproduces the serial arrays exactly — and
+        the fold (which also counts ``incremental_deltas``, parent-side
+        exactly as serial scoring does) yields bit-identical scores.
+        """
+        assert self._stacked_states is not None
+        m = tile_results[0][0].shape[0]
+        n_ctx = len(self._labeled_slices)
+        state_size = self._stacked_states.shape[1]
+        counts = np.zeros((m, n_ctx), dtype=np.int64)
+        removed = np.zeros((m, n_ctx, state_size), dtype=np.float64)
+        for (lo, hi), (tile_counts, tile_removed) in zip(group_tiles,
+                                                         tile_results):
+            counts[:, lo:hi] = tile_counts
+            removed[:, lo:hi] = tile_removed
+        return self._combine_group_influences(counts, removed, None,
+                                              ignore_holdouts)
 
     def _ensure_executor(self):
         """Lazily build the kernel spec, place the problem's arrays in
@@ -847,7 +1037,8 @@ class InfluenceScorer:
             from repro.parallel import ShardedScoringExecutor, build_kernel_spec
 
             spec, segments = build_kernel_spec(self)
-            executor = ShardedScoringExecutor(self.workers)
+            executor = ShardedScoringExecutor(self.workers,
+                                              task_timeout=self.task_timeout)
             executor.start(spec, segments)  # closes segments on failure
             self._executor = executor
             self._finalizer = weakref.finalize(self, executor.close)
@@ -937,6 +1128,131 @@ class InfluenceScorer:
         workers only execute)."""
         return self._score_conj_chunk([(None, plan) for plan in plans],
                                       ignore_holdouts)
+
+    # ------------------------------------------------------------------
+    # Group-axis tiles (see _plan_group_tiles / _reduce_group_tiles)
+    # ------------------------------------------------------------------
+    def _span_evaluator(self, start: int, stop: int) -> ArrayMaskEvaluator:
+        """A mask evaluator over labeled columns ``[start, stop)`` —
+        sliced views of the full evaluator's arrays, memoized per span.
+        Slicing commutes with every elementwise clause comparison, so a
+        span mask equals the corresponding columns of the full mask."""
+        key = (start, stop)
+        evaluator = self._span_evaluators.get(key)
+        if evaluator is None:
+            continuous, codes, code_of = self._labeled_evaluator.export_state()
+            evaluator = ArrayMaskEvaluator.from_state(
+                {attr: values[start:stop]
+                 for attr, values in continuous.items()},
+                {attr: values[start:stop] for attr, values in codes.items()},
+                code_of,
+            )
+            self._span_evaluators[key] = evaluator
+        return evaluator
+
+    def _partial_masked_chunk(self, chunk: Sequence[Predicate],
+                              ignore_holdouts: bool,
+                              group_range: tuple[int, int],
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        """One mask-path (predicate-chunk × group-range) tile: matched
+        counts and summed removed states for contexts ``[lo, hi)`` only.
+
+        Evaluates the chunk's masks over just the tile's column span
+        and scatter-adds with tile-local context keys.  ``bincount``
+        accumulates in input (ascending-row) order and the tile's rows
+        are exactly the full matrix's rows for these contexts, so the
+        partials are byte-identical slices of the serial kernel's
+        arrays.  Requires the incremental path (the tiling planner
+        guarantees it) — partial tiles cannot carry black-box mask
+        rows.
+        """
+        assert self._stacked_states is not None
+        lo, hi = group_range
+        start = self._labeled_slices[lo][1]
+        stop = self._labeled_slices[hi - 1][2]
+        matrix = self._span_evaluator(start, stop).evaluate_batch(chunk)
+        m = matrix.shape[0]
+        n_tile = hi - lo
+        state_size = self._stacked_states.shape[1]
+        pred_rows, local_cols = np.nonzero(matrix)
+        keys = pred_rows * n_tile + (self._context_ids[start + local_cols] - lo)
+        counts = np.bincount(keys, minlength=m * n_tile).reshape(m, n_tile)
+        removed = np.zeros((m * n_tile, state_size), dtype=np.float64)
+        if len(keys):
+            gathered = self._stacked_states[start + local_cols]
+            for j in range(state_size):
+                removed[:, j] = np.bincount(
+                    keys, weights=gathered[:, j], minlength=m * n_tile)
+        return counts, removed.reshape(m, n_tile, state_size)
+
+    def _partial_index_chunk(self, items: list, ignore_holdouts: bool,
+                             group_range: tuple[int, int],
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """One range-tier tile: the groups are scored independently by
+        construction (per-group binary searches), so restricting the
+        group loop to ``[lo, hi)`` yields exactly the serial arrays'
+        columns."""
+        assert self._index is not None and self._incremental
+        lo, hi = group_range
+        m = len(items)
+        counts = np.zeros((m, self._index.n_groups), dtype=np.int64)
+        removed = np.zeros((m, self._index.n_groups, self._index.state_size),
+                           dtype=np.float64)
+        by_attr: dict[str, list[int]] = {}
+        for j, (_, clause) in enumerate(items):
+            by_attr.setdefault(clause.attribute, []).append(j)
+        for attribute, positions in by_attr.items():
+            clauses = [items[j][1] for j in positions]
+            attr_counts, attr_removed = self._index.range_group_stats(
+                attribute,
+                np.asarray([clause.lo for clause in clauses], dtype=np.float64),
+                np.asarray([clause.hi for clause in clauses], dtype=np.float64),
+                np.asarray([clause.include_hi for clause in clauses], dtype=bool),
+                group_range=group_range,
+            )
+            counts[positions] = attr_counts
+            removed[positions] = attr_removed
+        self._sync_index_stats()
+        return counts[:, lo:hi], removed[:, lo:hi]
+
+    def _partial_set_chunk(self, items: list, ignore_holdouts: bool,
+                           group_range: tuple[int, int],
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """One bucket-tier tile (same per-group independence as
+        :meth:`_partial_index_chunk`)."""
+        assert self._index is not None and self._incremental
+        lo, hi = group_range
+        m = len(items)
+        counts = np.zeros((m, self._index.n_groups), dtype=np.int64)
+        removed = np.zeros((m, self._index.n_groups, self._index.state_size),
+                           dtype=np.float64)
+        by_attr: dict[str, list[int]] = {}
+        for j, (_, clause) in enumerate(items):
+            by_attr.setdefault(clause.attribute, []).append(j)
+        for attribute, positions in by_attr.items():
+            wanted_lists = [
+                self._index.translate(attribute, items[j][1].values)
+                for j in positions
+            ]
+            attr_counts, attr_removed = self._index.set_group_stats(
+                attribute, wanted_lists, group_range=group_range)
+            counts[positions] = attr_counts
+            removed[positions] = attr_removed
+        self._sync_index_stats()
+        return counts[:, lo:hi], removed[:, lo:hi]
+
+    def _partial_conj_chunk(self, items: list, ignore_holdouts: bool,
+                            group_range: tuple[int, int],
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """One conjunction-tier tile (per-group probe + mask-test, so
+        the same per-group independence applies)."""
+        assert self._index is not None and self._incremental
+        lo, hi = group_range
+        counts, removed = self._index.conjunction_group_stats(
+            [(plan.probe, plan.other) for _, plan in items],
+            group_range=group_range)
+        self._sync_index_stats()
+        return counts[:, lo:hi], removed[:, lo:hi]
 
     def _score_mask_matrix(self, matrix: np.ndarray,
                            ignore_holdouts: bool) -> np.ndarray:

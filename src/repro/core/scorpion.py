@@ -120,6 +120,16 @@ class Scorpion:
         through ``InfluenceScorer.score_batch``, so NAIVE, MC, DT, and
         the Merger all inherit the parallelism; results are bit-for-bit
         identical at any setting (see :mod:`repro.parallel`).
+    group_chunk:
+        Group-axis sharding granularity for parallel batches: contexts
+        per (predicate-chunk × group-range) tile.  None (default, or
+        ``SCORPION_GROUP_CHUNK``) lets the cost model decide per batch;
+        ``0`` disables group tiling; ``>= 1`` forces that tile height.
+        Results are identical at any setting.
+    task_timeout:
+        Per-shard worker deadline in seconds (None = the
+        ``SCORPION_TASK_TIMEOUT`` environment variable, else the
+        executor default; ``<= 0`` waits forever).
     """
 
     def __init__(self, algorithm: str = "auto", partitioner=None,
@@ -128,7 +138,9 @@ class Scorpion:
                  auto_select_attributes: bool = False,
                  relevance_threshold: float = 0.05,
                  use_index: bool = True, batch_chunk: int | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 group_chunk: int | None = None,
+                 task_timeout: float | None = None):
         if algorithm not in ("auto", "dt", "mc", "naive"):
             raise PartitionerError(f"unknown algorithm {algorithm!r}")
         if top_k < 1:
@@ -143,6 +155,8 @@ class Scorpion:
         self.use_index = use_index
         self.batch_chunk = batch_chunk
         self.workers = workers
+        self.group_chunk = group_chunk
+        self.task_timeout = task_timeout
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
@@ -153,7 +167,9 @@ class Scorpion:
             query = self._narrow_attributes(query)
         scorer = InfluenceScorer(query, use_index=self.use_index,
                                  batch_chunk=self.batch_chunk,
-                                 workers=self.workers)
+                                 workers=self.workers,
+                                 group_chunk=self.group_chunk,
+                                 task_timeout=self.task_timeout)
         try:
             partitioner = self.partitioner or self._pick_partitioner(query, scorer)
 

@@ -7,13 +7,23 @@ rows plus prefix-summed aggregate state per continuous attribute
 plus per-bucket aggregate state per discrete attribute (single set
 clauses → O(|codes|) bucket lookups).  2-clause conjunctions probe the
 rarer clause's view and mask-test only its rows.
-:class:`IndexPlanner` routes each predicate of a batch to the right
-tier or to the mask-matrix kernel.  See the module docstrings of
-:mod:`repro.index.prefix`, :mod:`repro.index.discrete`, and
-:mod:`repro.index.planner` for the exact-equality arguments and the
-routing rules.
+:class:`IndexPlanner` routes each predicate of a batch to the
+argmin-estimated-cost tier — index or mask kernel — using the shared
+:class:`CostModel` (per-tier nanosecond constants, microcalibrated
+once per process; see :mod:`repro.index.cost`).  See the module
+docstrings of :mod:`repro.index.prefix`, :mod:`repro.index.discrete`,
+:mod:`repro.index.cost`, and :mod:`repro.index.planner` for the
+exact-equality arguments and the routing rules.
 """
 
+from repro.index.cost import (
+    DEFAULT_CONSTANTS,
+    CostConstants,
+    CostModel,
+    calibration_count,
+    force_index_model,
+    force_mask_model,
+)
 from repro.index.discrete import GroupDiscreteIndex
 from repro.index.planner import ConjunctionPlan, IndexPlanner, IndexRoute
 from repro.index.prefix import (
@@ -25,13 +35,19 @@ from repro.index.prefix import (
 )
 
 __all__ = [
+    "DEFAULT_CONSTANTS",
     "EXACT_SUM_BUDGET",
     "ConjunctionPlan",
+    "CostConstants",
+    "CostModel",
     "GroupAttributeIndex",
     "GroupDiscreteIndex",
     "IndexPlanner",
     "IndexRoute",
     "PrefixAggregateIndex",
+    "calibration_count",
     "exactly_summable",
+    "force_index_model",
+    "force_mask_model",
     "gather_slice_states",
 ]

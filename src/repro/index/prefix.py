@@ -296,6 +296,13 @@ class PrefixAggregateIndex:
         return self._states[0].shape[1] if self._states else 0
 
     @property
+    def all_exact(self) -> bool:
+        """Whether every group is exactly summable, i.e. single-clause
+        queries never pay a per-matched-row gather (the cost model's
+        ``exact`` flag)."""
+        return all(self._exact)
+
+    @property
     def attributes_built(self) -> tuple[str, ...]:
         """Attributes with built views (continuous first, then discrete)."""
         return tuple(self._by_attr) + tuple(self._by_discrete)
@@ -387,6 +394,22 @@ class PrefixAggregateIndex:
             sorted(code_of[v] for v in values if v in code_of),
             dtype=np.int64)
 
+    def _resolve_group_range(self, group_range: tuple[int, int] | None,
+                             active_groups: int | None) -> tuple[int, int]:
+        """Normalize the two group-restriction spellings to ``[lo, hi)``.
+
+        ``active_groups=N`` (the scorer's outlier-only scoring) is the
+        prefix ``[0, N)``; ``group_range`` is an arbitrary contiguous
+        span — the parallel executor's group-axis tiles.  ``group_range``
+        wins when both are given.
+        """
+        if group_range is not None:
+            lo, hi = group_range
+            return max(0, int(lo)), min(self.n_groups, int(hi))
+        if active_groups is None:
+            return 0, self.n_groups
+        return 0, min(self.n_groups, int(active_groups))
+
     # ------------------------------------------------------------------
     def ensure(self, attribute: str) -> list[GroupAttributeIndex]:
         """Build (once) and return the attribute's per-group indexes."""
@@ -435,6 +458,7 @@ class PrefixAggregateIndex:
     def range_group_stats(self, attribute: str, los: np.ndarray,
                           his: np.ndarray, closed: np.ndarray,
                           active_groups: int | None = None,
+                          group_range: tuple[int, int] | None = None,
                           ) -> tuple[np.ndarray, np.ndarray]:
         """Matched counts and removed states of ``m`` ranges per group.
 
@@ -443,16 +467,21 @@ class PrefixAggregateIndex:
         group order — exactly the quantities the scorer's batched
         influence arithmetic consumes.  ``active_groups`` restricts the
         work to the first N groups (the scorer's outlier-only scoring
-        skips hold-out groups entirely); the remaining rows stay zero.
+        skips hold-out groups entirely); ``group_range=(lo, hi)``
+        restricts it to an arbitrary contiguous span (the executor's
+        group-axis tiles).  Groups outside the span stay zero, and each
+        in-span group's result is identical to a full-width call's —
+        per-group work is independent, which is what makes group-tiled
+        parallel reassembly bit-for-bit equal to serial.
         """
         per_group = self.ensure(attribute)
-        if active_groups is None:
-            active_groups = self.n_groups
+        lo_g, hi_g = self._resolve_group_range(group_range, active_groups)
         m = len(los)
         counts = np.zeros((m, self.n_groups), dtype=np.int64)
         removed = np.zeros((m, self.n_groups, self.state_size),
                            dtype=np.float64)
-        for gi, group_index in enumerate(per_group[:active_groups]):
+        for gi in range(lo_g, hi_g):
+            group_index = per_group[gi]
             a, b = group_index.slice_bounds(los, his, closed)
             counts[:, gi] = b - a
             removed[:, gi, :] = group_index.removed_states(
@@ -462,21 +491,22 @@ class PrefixAggregateIndex:
     def set_group_stats(self, attribute: str,
                         wanted_lists: Sequence[np.ndarray],
                         active_groups: int | None = None,
+                        group_range: tuple[int, int] | None = None,
                         ) -> tuple[np.ndarray, np.ndarray]:
         """Matched counts and removed states of ``m`` set clauses per
         group, each clause given as its sorted wanted-code array (see
         :meth:`translate`).
 
-        Same output contract as :meth:`range_group_stats`.  Bucket-tier
-        groups answer with one 0/1-matrix product against their exact
-        per-bucket states (every intermediate an exact integer, so the
-        blocked BLAS reduction cannot deviate from the scalar masked
-        sum); gather-tier groups route the wanted buckets' slices
-        through the shared ascending-row gather kernel.
+        Same output contract as :meth:`range_group_stats` (including the
+        ``active_groups`` / ``group_range`` restriction semantics).
+        Bucket-tier groups answer with one 0/1-matrix product against
+        their exact per-bucket states (every intermediate an exact
+        integer, so the blocked BLAS reduction cannot deviate from the
+        scalar masked sum); gather-tier groups route the wanted buckets'
+        slices through the shared ascending-row gather kernel.
         """
         per_group = self.ensure_discrete(attribute)
-        if active_groups is None:
-            active_groups = self.n_groups
+        lo_g, hi_g = self._resolve_group_range(group_range, active_groups)
         m = len(wanted_lists)
         counts = np.zeros((m, self.n_groups), dtype=np.int64)
         removed = np.zeros((m, self.n_groups, self.state_size),
@@ -493,7 +523,8 @@ class PrefixAggregateIndex:
                        if len(owners) else np.empty(0, dtype=np.int64))
         wanted_matrix = np.zeros((m, n_codes), dtype=np.float64)
         wanted_matrix[owners, flat_wanted] = 1.0
-        for gi, group_index in enumerate(per_group[:active_groups]):
+        for gi in range(lo_g, hi_g):
+            group_index = per_group[gi]
             starts = group_index.offsets[flat_wanted]
             stops = group_index.offsets[flat_wanted + 1]
             counts[:, gi] = np.bincount(
@@ -512,39 +543,71 @@ class PrefixAggregateIndex:
     # ------------------------------------------------------------------
     def estimate_clause_count(self, clause: Clause) -> int:
         """Exact matched-row total of one clause over all labeled groups
-        — the planner's probe-side selectivity estimate.  O(log n) per
-        group for ranges, O(|values|) for set clauses, on views that are
-        built anyway for the probe itself."""
-        if isinstance(clause, RangeClause):
-            lo = np.asarray([clause.lo], dtype=np.float64)
-            hi = np.asarray([clause.hi], dtype=np.float64)
-            closed = np.asarray([clause.include_hi], dtype=bool)
-            total = 0
-            for group_index in self.ensure(clause.attribute):
-                a, b = group_index.slice_bounds(lo, hi, closed)
-                total += int(b[0] - a[0])
-            return total
-        if isinstance(clause, SetClause):
-            wanted = self.translate(clause.attribute, clause.values)
-            total = 0
-            for group_index in self.ensure_discrete(clause.attribute):
-                starts = group_index.offsets[wanted]
-                stops = group_index.offsets[wanted + 1]
-                total += int((stops - starts).sum())
-            return total
-        raise PredicateError(
-            f"cannot estimate clause kind {type(clause).__name__}")
+        — the planner's selectivity estimate.  O(log n) per group for
+        ranges, O(|values|) for set clauses, on views that are built
+        anyway for the clause itself."""
+        return int(self.estimate_clause_counts([clause])[0])
+
+    def estimate_clause_counts(self, clauses: Sequence[Clause]) -> np.ndarray:
+        """Exact matched-row totals of many clauses at once.
+
+        The batched form of :meth:`estimate_clause_count`: one
+        vectorized ``searchsorted`` (ranges) or bucket-width ``bincount``
+        (set clauses) per (kind, attribute, group) instead of a Python
+        loop per clause — this is what keeps the planner's cost pass
+        negligible next to the scoring it prices.
+        """
+        out = np.zeros(len(clauses), dtype=np.int64)
+        range_ids: dict[str, list[int]] = {}
+        set_ids: dict[str, list[int]] = {}
+        for j, clause in enumerate(clauses):
+            if isinstance(clause, RangeClause):
+                range_ids.setdefault(clause.attribute, []).append(j)
+            elif isinstance(clause, SetClause):
+                set_ids.setdefault(clause.attribute, []).append(j)
+            else:
+                raise PredicateError(
+                    f"cannot estimate clause kind {type(clause).__name__}")
+        for attribute, ids in range_ids.items():
+            sub = [clauses[j] for j in ids]
+            los = np.asarray([c.lo for c in sub], dtype=np.float64)
+            his = np.asarray([c.hi for c in sub], dtype=np.float64)
+            closed = np.asarray([c.include_hi for c in sub], dtype=bool)
+            totals = np.zeros(len(ids), dtype=np.int64)
+            for group_index in self.ensure(attribute):
+                a, b = group_index.slice_bounds(los, his, closed)
+                totals += b - a
+            out[np.asarray(ids, dtype=np.int64)] = totals
+        for attribute, ids in set_ids.items():
+            wanted_lists = [self.translate(attribute, clauses[j].values)
+                            for j in ids]
+            owners = np.repeat(
+                np.arange(len(ids), dtype=np.int64),
+                np.asarray([len(w) for w in wanted_lists], dtype=np.int64))
+            flat_wanted = (np.concatenate(wanted_lists)
+                           if len(owners) else np.empty(0, dtype=np.int64))
+            totals = np.zeros(len(ids), dtype=np.int64)
+            for group_index in self.ensure_discrete(attribute):
+                widths = (group_index.offsets[flat_wanted + 1]
+                          - group_index.offsets[flat_wanted])
+                totals += np.bincount(
+                    owners, weights=widths.astype(np.float64),
+                    minlength=len(ids)).astype(np.int64)
+            out[np.asarray(ids, dtype=np.int64)] = totals
+        return out
 
     def conjunction_group_stats(self, plans: Sequence[tuple[Clause, Clause]],
                                 active_groups: int | None = None,
+                                group_range: tuple[int, int] | None = None,
                                 ) -> tuple[np.ndarray, np.ndarray]:
         """Matched counts and removed states of ``m`` 2-clause
         conjunctions per group, each given as ``(probe, other)`` with the
         probe side chosen by the planner.
 
-        Same output contract as :meth:`range_group_stats`.  Per group,
-        every plan's probe clause contributes its sorted slice or code
-        buckets as candidate ``(plan, row)`` pairs — one vectorized
+        Same output contract as :meth:`range_group_stats` (including the
+        ``active_groups`` / ``group_range`` restriction semantics).  Per
+        group, every plan's probe clause contributes its sorted slice or
+        code buckets as candidate ``(plan, row)`` pairs — one vectorized
         expansion per (probe kind, attribute) family — and only those
         candidates are mask-tested against their plan's other clause
         (one vectorized comparison per (other kind, attribute) family,
@@ -552,8 +615,7 @@ class PrefixAggregateIndex:
         survivors are reduced with the shared ascending-row-order
         scatter-add, so results are bit-for-bit equal to scalar scoring.
         """
-        if active_groups is None:
-            active_groups = self.n_groups
+        lo_g, hi_g = self._resolve_group_range(group_range, active_groups)
         m = len(plans)
         counts = np.zeros((m, self.n_groups), dtype=np.int64)
         removed = np.zeros((m, self.n_groups, self.state_size),
@@ -618,7 +680,7 @@ class PrefixAggregateIndex:
                 families.append(key)
             family_of_plan[j] = fid
 
-        for gi in range(active_groups):
+        for gi in range(lo_g, hi_g):
             start, stop = self._slices[gi]
             owner_chunks: list[np.ndarray] = []
             row_chunks: list[np.ndarray] = []

@@ -33,7 +33,8 @@ from repro.parallel.kernel import KernelSpec
 from repro.parallel.shm import destroy_segment
 
 #: Per-shard wall-clock budget before the pool is declared hung
-#: (override via ``SCORPION_WORKER_TIMEOUT``; ``0`` disables).
+#: (override via ``SCORPION_TASK_TIMEOUT``, or the legacy
+#: ``SCORPION_WORKER_TIMEOUT`` alias; ``0`` disables).
 DEFAULT_TASK_TIMEOUT = 300.0
 
 
@@ -58,7 +59,10 @@ def resolve_workers(workers: int | None) -> int:
 
 def _resolve_timeout(task_timeout: float | None) -> float | None:
     if task_timeout is None:
-        raw = os.environ.get("SCORPION_WORKER_TIMEOUT", "").strip()
+        raw = os.environ.get("SCORPION_TASK_TIMEOUT", "").strip()
+        if not raw:
+            # Legacy alias from before the knob was documented.
+            raw = os.environ.get("SCORPION_WORKER_TIMEOUT", "").strip()
         task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
     return task_timeout if task_timeout > 0 else None
 
@@ -74,7 +78,8 @@ class ShardedScoringExecutor:
         useful, but 1 is accepted for testing).
     task_timeout:
         Per-shard result deadline in seconds (None → the
-        ``SCORPION_WORKER_TIMEOUT`` environment variable, else
+        ``SCORPION_TASK_TIMEOUT`` environment variable, falling back
+        to the legacy ``SCORPION_WORKER_TIMEOUT`` alias, else
         :data:`DEFAULT_TASK_TIMEOUT`; ``<= 0`` waits forever).
     """
 

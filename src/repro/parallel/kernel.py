@@ -323,12 +323,16 @@ def build_worker_scorer(spec: KernelSpec,
     scorer._planner = IndexPlanner(scorer._index)
     scorer._index_builds_seen = 0
     scorer._index_seconds_seen = 0.0
-    # Workers never parallelize recursively.
+    # Workers never parallelize recursively (and never re-plan routes
+    # or re-tile groups — they execute parent decisions only).
     scorer.workers = 1
     scorer._parallel_disabled = True
     scorer._executor = None
     scorer._finalizer = None
     scorer._index_attr_specs = {}
+    scorer._span_evaluators = {}
+    scorer.group_chunk = 0
+    scorer.task_timeout = None
     return scorer, held
 
 

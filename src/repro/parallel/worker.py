@@ -61,8 +61,18 @@ def initialize(spec: KernelSpec) -> None:
 
 def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
               attr_specs: tuple,
-              ) -> tuple[np.ndarray, dict[str, float]]:
-    """Score one routed shard; see the module docstring."""
+              group_range: tuple[int, int] | None = None,
+              ) -> tuple[object, dict[str, float]]:
+    """Score one routed shard; see the module docstring.
+
+    With ``group_range`` the shard is a (predicate-chunk ×
+    group-range) *tile*: instead of final influences the worker returns
+    ``(counts, removed)`` partial arrays for contexts ``[lo, hi)``
+    only, which the parent's group-axis reduce step reassembles (see
+    ``InfluenceScorer._reduce_group_tiles``) — the parent then runs the
+    influence fold itself, so tile workers never fold and never count
+    fold-side stats.
+    """
     state = _STATE
     assert state is not None, "worker used before initialize()"
     scorer = state.scorer
@@ -73,6 +83,25 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
                 scorer, attr_spec, state.owner_tracker_pid))
             state.installed_attrs.add(key)
     scorer.stats.reset()
+    if group_range is not None:
+        if kind == "masked":
+            partial = scorer._partial_masked_chunk(items, ignore_holdouts,
+                                                   group_range)
+        elif kind == "indexed":
+            partial = scorer._partial_index_chunk(
+                [(None, clause) for clause in items], ignore_holdouts,
+                group_range)
+        elif kind == "indexed_set":
+            partial = scorer._partial_set_chunk(
+                [(None, clause) for clause in items], ignore_holdouts,
+                group_range)
+        elif kind == "indexed_conj":
+            partial = scorer._partial_conj_chunk(
+                [(None, plan) for plan in items], ignore_holdouts,
+                group_range)
+        else:  # pragma: no cover - guarded by the executor's task builder
+            raise ValueError(f"unknown shard kind {kind!r}")
+        return partial, scorer.stats.worker_counters()
     if kind == "masked":
         values = scorer._score_masked_chunk(items, ignore_holdouts)
     elif kind == "indexed":

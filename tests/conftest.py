@@ -13,12 +13,15 @@ from repro.query.groupby import GroupByQuery
 from repro.table import ColumnKind, ColumnSpec, Schema, Table
 
 #: Counters that must agree between the index-routed scorer and a
-#: parallel scorer fed the same batch (routing happens in the parent
-#: either way, and worker-side kernel counters merge back).
+#: parallel scorer fed the same batch (routing — including every
+#: cost-model decision — happens in the parent either way, and
+#: worker-side kernel counters merge back).
 ROUTING_COUNTERS = (
     "indexed_predicates", "indexed_ranges", "indexed_sets",
     "indexed_conjunctions", "conjunction_fallbacks", "masked_predicates",
     "incremental_deltas", "full_recomputes", "index_builds",
+    "cost_routed_mask", "cost_routed_prefix", "cost_routed_bucket",
+    "cost_routed_gather", "cost_routed_conj", "cost_calibrations",
 )
 
 
@@ -33,16 +36,22 @@ def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
     1. scalar ``score()`` per predicate (the reference semantics);
     2. ``score_batch`` with the index disabled (mask-matrix kernel);
     3. ``score_batch`` with the index enabled (planner-routed tiers);
-    4. optionally ``score_batch`` with ``workers`` processes (sharded
-       parallel execution), when ``workers`` is given.
+    4. when ``workers`` is given: ``score_batch`` with ``workers``
+       processes three ways — predicate-axis sharding, group-axis
+       sharding (``group_chunk=1`` with the predicate axis left in one
+       shard), and 2-D tiling (small predicate chunks × group ranges).
 
-    Also asserts routing-counter consistency: the per-tier split sums to
-    ``indexed_predicates``, the mask-only scorer routes nothing, and a
-    parallel run's routing/kernel counters equal the serial indexed
-    run's.  ``expect_pool`` additionally requires that the parallel leg
-    actually dispatched shards to worker processes.  Extra keyword
-    arguments construct every scorer (e.g. ``use_incremental=False``).
-    Returns the agreed influence vector.
+    Also asserts routing-counter consistency: the per-tier split sums
+    to ``indexed_predicates``, the mask-only scorer routes nothing, a
+    replayed partition of the same unique predicates reproduces every
+    routing and cost-model counter exactly (so routing is a
+    deterministic function of the batch, not of execution mode), and
+    every parallel leg's routing/kernel counters equal the serial
+    indexed run's.  ``expect_pool`` additionally requires that the
+    parallel legs actually dispatched shards (and, where the tiling
+    preconditions hold, group tiles) to worker processes.  Extra
+    keyword arguments construct every scorer (e.g.
+    ``use_incremental=False``).  Returns the agreed influence vector.
     """
     predicates = list(predicates)
     chunk_kwargs = {} if batch_chunk is None else {"batch_chunk": batch_chunk}
@@ -77,40 +86,61 @@ def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
         assert stats.indexed_predicates == 0
     assert (stats.indexed_predicates + stats.masked_predicates
             <= len(set(predicates)))
-    if indexed.uses_index:
-        # Routing-engagement guard: the tiers must actually answer the
-        # shapes they advertise, so a silently-rejecting planner cannot
-        # degrade these checks to mask-vs-mask comparisons.  Every
-        # unique single-clause predicate whose clause the index holds
-        # arrays for routes unconditionally; every 2-clause predicate
-        # with both clauses held is at least *examined* (routed or
-        # counted as a fallback).
-        index = indexed.planner.index
-        unique = set(predicates)
-        singles = sum(1 for p in unique if p.num_clauses == 1
-                      and index.supports_clause(p.clauses[0]))
-        pairs = sum(1 for p in unique if p.num_clauses == 2
-                    and all(index.supports_clause(c) for c in p))
-        assert stats.indexed_ranges + stats.indexed_sets == singles
-        assert (stats.indexed_conjunctions
-                + stats.conjunction_fallbacks >= pairs)
+    # Routing-replay guard: re-partitioning the batch's unique scorable
+    # predicates must reproduce the recorded routing and cost-model
+    # counters exactly — routing is a deterministic function of the
+    # batch and the cost model, never of execution mode or history.
+    # (Replaces the old unconditional-engagement guard: with cost-based
+    # routing, which tier answers a shape depends on the problem size.)
+    scorable = [p for p in dict.fromkeys(predicates)
+                if indexed._labeled_evaluator.supports_predicate(p)]
+    replay = indexed.planner.partition(scorable)
+    assert stats.indexed_ranges == len(replay.ranges)
+    assert stats.indexed_sets == len(replay.sets)
+    assert stats.indexed_conjunctions == len(replay.conjunctions)
+    assert stats.masked_predicates == len(replay.masked)
+    assert stats.conjunction_fallbacks == replay.conjunction_fallbacks
+    for name in ("cost_routed_mask", "cost_routed_prefix",
+                 "cost_routed_bucket", "cost_routed_gather",
+                 "cost_routed_conj"):
+        assert getattr(stats, name) == getattr(replay, name), name
 
     if workers is not None and workers > 1:
-        parallel = InfluenceScorer(problem, cache_scores=False,
-                                   workers=workers,
-                                   batch_chunk=batch_chunk or 8,
-                                   **scorer_kwargs)
-        try:
-            via_parallel = parallel.score_batch(
-                predicates, ignore_holdouts=ignore_holdouts)
-            np.testing.assert_array_equal(via_parallel, scalar)
-            for name in ROUTING_COUNTERS:
-                assert getattr(parallel.stats, name) == \
-                    getattr(stats, name), name
-            if expect_pool:
-                assert parallel.stats.parallel_shards > 0, "pool was never used"
-        finally:
-            parallel.close()
+        expect_tiles = (expect_pool and indexed.uses_incremental
+                        and len(scorable) > 0
+                        and (len(problem.outlier_results) if ignore_holdouts
+                             else len(problem.outlier_results)
+                             + len(problem.holdout_results)) >= 2)
+        parallel_legs = (
+            # Predicate-axis sharding (small chunks).
+            dict(batch_chunk=batch_chunk or 8, group_chunk=0),
+            # Group-axis sharding: predicate axis left whole, one
+            # context per tile.
+            dict(batch_chunk=max(len(predicates), 1) * 2, group_chunk=1),
+            # 2-D tiling: small predicate chunks × group ranges.
+            dict(batch_chunk=batch_chunk or 8, group_chunk=1),
+        )
+        for leg, leg_kwargs in enumerate(parallel_legs):
+            parallel = InfluenceScorer(problem, cache_scores=False,
+                                       workers=workers,
+                                       **leg_kwargs, **scorer_kwargs)
+            try:
+                via_parallel = parallel.score_batch(
+                    predicates, ignore_holdouts=ignore_holdouts)
+                np.testing.assert_array_equal(via_parallel, scalar)
+                for name in ROUTING_COUNTERS:
+                    assert getattr(parallel.stats, name) == \
+                        getattr(stats, name), (name, leg)
+                # Leg 1 leaves the predicate axis in one shard, so its
+                # pool use hinges entirely on group tiling engaging.
+                if expect_pool and (leg != 1 or expect_tiles):
+                    assert parallel.stats.parallel_shards > 0, \
+                        f"pool was never used (leg {leg})"
+                if leg > 0 and expect_tiles:
+                    assert parallel.stats.parallel_group_shards > 0, \
+                        f"group tiles never dispatched (leg {leg})"
+            finally:
+                parallel.close()
     return via_index
 
 

@@ -25,6 +25,7 @@ from repro.index import (
     GroupDiscreteIndex,
     IndexPlanner,
     PrefixAggregateIndex,
+    force_index_model,
 )
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
@@ -226,7 +227,10 @@ class TestConjunctionTier:
         else:
             predicate = Predicate([RangeClause("a1", -10.0, 100.0),
                                    SetClause("ac", [AC_POOL[0]])])
-        scorer = InfluenceScorer(problem, cache_scores=False)
+        # force_index_model pins the plan-vs-mask choice: on a fixture
+        # this small the real cost model may price the probe out.
+        scorer = InfluenceScorer(problem, cache_scores=False,
+                                 cost_model=force_index_model())
         plan = scorer.planner.plan_conjunction(predicate)
         assert plan is not None
         if narrow_side == "range":

@@ -26,6 +26,7 @@ from repro.index import (
     GroupAttributeIndex,
     PrefixAggregateIndex,
     exactly_summable,
+    force_index_model,
 )
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
@@ -243,8 +244,12 @@ class TestEdgeCases:
 
 class TestRoutingAndPlanner:
     def test_mixed_batch_routes_by_shape(self):
+        # force_index_model pins the tier choice: on a fixture this
+        # small the real cost model (rightly) sends conjunctions to the
+        # mask kernel.
         problem = build_problem(Avg())
-        scorer = InfluenceScorer(problem, cache_scores=False)
+        scorer = InfluenceScorer(problem, cache_scores=False,
+                                 cost_model=force_index_model())
         batch = [
             Predicate([RangeClause("a1", 1.0, 3.0)]),              # range tier
             Predicate([RangeClause("a2", 1.0, 3.0)]),              # range tier
