@@ -13,7 +13,8 @@ import time
 from repro.core.scorpion import Scorpion
 from repro.eval import format_table
 
-from benchmarks.conftest import emit_report, run_once, synth_dataset
+from benchmarks.conftest import (emit_bench_json, emit_report, run_once,
+                                 synth_dataset)
 
 C_SWEEP_DOWN = (0.5, 0.4, 0.3, 0.2, 0.1, 0.0)
 
@@ -41,13 +42,29 @@ def _experiment(n_dims, difficulty):
     return rows, total_uncached, total_cached, scorpion.cache
 
 
+def _emit(name: str, title: str, rows, total_uncached, total_cached, cache):
+    """Human-readable report + machine-readable BENCH_scorer.json rows."""
+    table_rows = rows + [["total", round(total_uncached, 2),
+                          round(total_cached, 2)]]
+    emit_report(name, format_table(title, ["c", "no-cache", "cache"],
+                                   table_rows))
+    emit_bench_json(name, {
+        "per_c": [{"c": c, "uncached_seconds": u, "cached_seconds": k}
+                  for c, u, k in rows],
+        "total_uncached_seconds": round(total_uncached, 4),
+        "total_cached_seconds": round(total_cached, 4),
+        "speedup": round(total_uncached / max(total_cached, 1e-9), 3),
+        "partition_hits": cache.partition_hits,
+        "partition_misses": cache.partition_misses,
+    })
+
+
 def test_fig16_caching_3d_easy(benchmark):
     rows, total_uncached, total_cached, cache = run_once(
         benchmark, lambda: _experiment(3, "easy"))
-    rows.append(["total", round(total_uncached, 2), round(total_cached, 2)])
-    emit_report("fig16_caching_3d_easy", format_table(
-        "Figure 16 (3D Easy) — per-c cost (s), no-cache vs cache",
-        ["c", "no-cache", "cache"], rows))
+    _emit("fig16_caching_3d_easy",
+          "Figure 16 (3D Easy) — per-c cost (s), no-cache vs cache",
+          rows, total_uncached, total_cached, cache)
     assert total_cached < total_uncached
     assert cache.partition_misses == 1
     assert cache.partition_hits == len(C_SWEEP_DOWN) - 1
@@ -56,8 +73,7 @@ def test_fig16_caching_3d_easy(benchmark):
 def test_fig16_caching_3d_hard(benchmark):
     rows, total_uncached, total_cached, cache = run_once(
         benchmark, lambda: _experiment(3, "hard"))
-    rows.append(["total", round(total_uncached, 2), round(total_cached, 2)])
-    emit_report("fig16_caching_3d_hard", format_table(
-        "Figure 16 (3D Hard) — per-c cost (s), no-cache vs cache",
-        ["c", "no-cache", "cache"], rows))
+    _emit("fig16_caching_3d_hard",
+          "Figure 16 (3D Hard) — per-c cost (s), no-cache vs cache",
+          rows, total_uncached, total_cached, cache)
     assert total_cached < total_uncached

@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.predicates import Domain, Predicate, RangeClause, SetClause
 from repro.query import GroupByQuery, Provenance, ResultSet, parse_query
+from repro.service import ExplainService
 from repro.table import ColumnKind, ColumnSpec, Schema, Table, read_csv, write_csv
 
 __version__ = "1.0.0"
@@ -68,6 +69,7 @@ __all__ = [
     "DatasetError",
     "Domain",
     "DTPartitioner",
+    "ExplainService",
     "Explanation",
     "GroupByQuery",
     "InfluenceScorer",

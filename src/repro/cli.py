@@ -12,11 +12,18 @@ The group keys in ``--outliers`` / ``--holdouts`` are matched against
 the group-by column's values (numeric strings are coerced when the
 column is numeric).  ``--explore-c`` sweeps the Section 7 knob instead
 of solving a single instance and prints the predicate ladder.
+
+``--serve`` starts the resident service instead: one JSON object per
+stdin line describes a request (``{"outliers": [...], "holdouts":
+[...], "c": 0.3, ...}``), one JSON line per request comes back, and the
+expensive problem build is cached across requests behind a content key
+(see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -25,6 +32,7 @@ from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
 from repro.errors import QueryError, ScorpionError
 from repro.query.sql import parse_query
+from repro.service.service import ExplainService
 from repro.table.io import read_csv
 from repro.table.table import Table
 
@@ -39,8 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--query", required=True,
                         help="SQL: SELECT <agg>(<col>) FROM <t> "
                              "[WHERE ...] GROUP BY <col>")
-    parser.add_argument("--outliers", required=True,
-                        help="comma-separated group keys flagged as outliers")
+    parser.add_argument("--outliers", default="",
+                        help="comma-separated group keys flagged as outliers "
+                             "(required except with --serve, where each "
+                             "request names its own)")
     parser.add_argument("--holdouts", default="",
                         help="comma-separated group keys flagged as normal")
     parser.add_argument("--direction", choices=["high", "low"], default="high",
@@ -82,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard worker deadline in seconds "
                              "(default: SCORPION_TASK_TIMEOUT env var or "
                              "300; <= 0 waits forever)")
+    parser.add_argument("--serve", action="store_true",
+                        help="resident service mode: read one JSON request "
+                             "per stdin line, write one JSON response per "
+                             "line, caching problem images / index views / "
+                             "worker pools across requests")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        help="resident cache capacity in bytes for --serve "
+                             "(default: SCORPION_CACHE_BYTES env var or "
+                             "512 MiB)")
     return parser
 
 
@@ -108,13 +127,76 @@ def _coerce_keys(keys: Sequence[str], table: Table, column: str) -> list:
     return coerced
 
 
-def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
-    """Entry point; returns a process exit code."""
+def _serve(args, table: Table, query, out, stdin) -> int:
+    """JSON-lines request loop over a resident :class:`ExplainService`.
+
+    Each request object accepts ``outliers`` (required), ``holdouts``,
+    ``direction``, ``c``, ``lam``, and ``query`` (SQL overriding the
+    startup query); omitted knobs fall back to the CLI flags.  Each
+    response line carries the ranked explanations plus the service /
+    DT-cache counters, and a malformed request yields an ``"ok":
+    false`` line instead of ending the loop.
+    """
+    service = ExplainService(
+        cache_bytes=args.cache_bytes, algorithm=args.algorithm,
+        top_k=args.top_k, use_index=not args.no_index,
+        batch_chunk=args.batch_chunk, workers=args.workers,
+        group_chunk=args.group_chunk, task_timeout=args.task_timeout)
+    with service:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                req_query = (parse_query(request["query"]).to_query()
+                             if "query" in request else query)
+                group_column = req_query.group_by[0]
+                outliers = _coerce_keys(
+                    [str(k) for k in request["outliers"]], table, group_column)
+                holdouts = _coerce_keys(
+                    [str(k) for k in request.get("holdouts", [])],
+                    table, group_column)
+                direction = request.get("direction", args.direction)
+                result = service.explain_request(
+                    table, req_query, outliers, holdouts,
+                    error_vectors=+1.0 if direction == "high" else -1.0,
+                    lam=float(request.get("lam", args.lam)),
+                    c=float(request.get("c", args.c)),
+                    ignore=_split_keys(args.ignore),
+                )
+                payload = {
+                    "ok": True,
+                    "algorithm": result.algorithm,
+                    "elapsed": result.elapsed,
+                    "cache_hit": bool(
+                        result.scorer_stats["service_cache_hit"]),
+                    "explanations": [
+                        {"predicate": str(e.predicate),
+                         "influence": float(e.influence),
+                         "rows": int(e.n_matched)}
+                        for e in result.explanations],
+                    "stats": {
+                        k: v for k, v in sorted(result.scorer_stats.items())
+                        if k.startswith(("service_", "dtcache_"))},
+                }
+            except (ScorpionError, ValueError, KeyError, TypeError) as exc:
+                payload = {"ok": False, "error": str(exc)}
+            print(json.dumps(payload), file=out, flush=True)
+    return 0
+
+
+def run(argv: Sequence[str] | None = None, out=sys.stdout,
+        stdin=sys.stdin) -> int:
+    """Entry point; returns a process exit code (``stdin`` feeds
+    ``--serve`` requests and exists for tests)."""
     args = build_parser().parse_args(argv)
     try:
         table = read_csv(args.csv)
         parsed = parse_query(args.query)
         query = parsed.to_query()
+        if args.serve:
+            return _serve(args, table, query, out, stdin)
         group_column = query.group_by[0]
         outliers = _coerce_keys(_split_keys(args.outliers), table, group_column)
         holdouts = _coerce_keys(_split_keys(args.holdouts), table, group_column)

@@ -722,6 +722,76 @@ class InfluenceScorer:
         """
         self.stats.reset()
 
+    def clear_memo(self) -> None:
+        """Drop the predicate → influence memo caches (memoization stays
+        enabled; the caches refill).
+
+        The resident service calls this at every checkout so a cached
+        scorer replays each request's scoring work exactly as a cold
+        scorer would — memo hits would otherwise make warm-call counters
+        diverge from the cold path the differential oracle compares
+        against.  The per-tuple influence cache is *kept*: tuple deltas
+        depend only on the aggregate states and perturbation mode, never
+        on ``c``/``λ``, and no counter records them.
+        """
+        if self._score_cache is not None:
+            self._score_cache = {}
+        if self._outlier_score_cache is not None:
+            self._outlier_score_cache = {}
+
+    def rebind(self, query: ScorpionQuery) -> None:
+        """Re-point this scorer at a cheap scalar variant of its problem
+        (see :meth:`ScorpionQuery.with_params`).
+
+        Only the search scalars ``c`` / ``c_holdout`` / ``λ`` may
+        differ: every cached artifact — contexts, tuple states, the
+        labeled evaluator, index views, the worker pool's shared-memory
+        image — is derived from the table, query, annotations, and
+        perturbation mode, which must be identical (the resident
+        service's content key guarantees this; the assertion is the
+        safety net).  Memoized influences are dropped because they bake
+        the old scalars in.
+        """
+        if (query.raw_table is not self.query.raw_table
+                or query.perturbation != self.perturbation
+                or query.attributes != self.query.attributes):
+            raise PredicateError(
+                "rebind requires an identical problem up to c/c_holdout/lam")
+        changed = (query.c != self.c or query.c_holdout != self.c_holdout
+                   or query.lam != self.lam)
+        self.query = query
+        self.c = query.c
+        self.c_holdout = query.c_holdout
+        self.lam = query.lam
+        if changed:
+            self.clear_memo()
+
+    def resident_bytes(self) -> int:
+        """Bytes of numpy array data this scorer holds resident — the
+        resident service's memory-accounting unit.
+
+        Counts each owned array once: per-context indices, aggregate
+        values and tuple states, the stacked state matrix, the labeled
+        evaluator's comparison arrays, and every built index view.
+        Slice views (span evaluators) and small Python object overhead
+        are excluded — the arrays counted here are the artifacts whose
+        size actually scales with the problem.
+        """
+        total = 0
+        for context in self.contexts:
+            total += context.indices.nbytes + context.agg_values.nbytes
+            if context.tuple_states is not None:
+                total += context.tuple_states.nbytes
+            if context.total_state is not None:
+                total += context.total_state.nbytes
+        if self._stacked_states is not None:
+            total += self._stacked_states.nbytes
+        total += self._context_ids.nbytes
+        total += self._labeled_evaluator.resident_bytes()
+        if self._index is not None:
+            total += self._index.resident_bytes()
+        return int(total)
+
     def score_batch(self, predicates: Sequence[Predicate] | Iterable[Predicate],
                     ignore_holdouts: bool = False) -> np.ndarray:
         """``inf(O, H, p, V)`` for every predicate, as one vectorized pass.
@@ -933,16 +1003,21 @@ class InfluenceScorer:
             #: position, tile position or None).
             meta: list[tuple[int, int, int | None]] = []
 
+            # Shards carry the live (c, c_holdout, λ) — the pool baked
+            # the spec's values in at startup, but a resident scorer may
+            # have been rebound since (see InfluenceScorer.rebind).
+            scalars = (self.c, self.c_holdout, self.lam)
+
             def add_tasks(tier: int, position: int, kind: str,
                           payload: list, specs: tuple) -> None:
                 if group_tiles is None:
                     tasks.append((kind, payload, ignore_holdouts, specs,
-                                  None))
+                                  None, scalars))
                     meta.append((tier, position, None))
                     return
                 for ti, bounds in enumerate(group_tiles):
                     tasks.append((kind, payload, ignore_holdouts, specs,
-                                  bounds))
+                                  bounds, scalars))
                     meta.append((tier, position, ti))
 
             for ci, chunk in enumerate(masked_shards):

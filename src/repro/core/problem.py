@@ -181,6 +181,39 @@ class ScorpionQuery:
             perturbation=self.perturbation,
         )
 
+    def with_params(self, c: float | None = None,
+                    c_holdout: float | None = None,
+                    lam: float | None = None) -> "ScorpionQuery":
+        """A copy with different search scalars but *shared* derived state.
+
+        Unlike :meth:`with_c` — which re-runs the group-by, provenance,
+        and domain construction from scratch — this rebinds only the
+        knobs no derived artifact depends on (``c`` scales influence
+        denominators, ``λ`` weights the fold; the query results,
+        provenance, contexts, and attribute domain are all agnostic to
+        them).  The resident :class:`~repro.service.ExplainService`
+        leans on this to serve a ``c`` sweep from one cached problem
+        image.
+        """
+        if lam is not None and not 0.0 <= lam <= 1.0:
+            raise PartitionerError(f"lambda must be in [0, 1], got {lam}")
+        if c is not None and c < 0:
+            raise PartitionerError(f"c must be non-negative, got {c}")
+        if c_holdout is not None and c_holdout < 0:
+            raise PartitionerError(
+                f"c_holdout must be non-negative, got {c_holdout}")
+        clone = object.__new__(ScorpionQuery)
+        clone.__dict__.update(self.__dict__)
+        if c is not None:
+            clone.c = float(c)
+            # Mirror the constructor: an unspecified c_holdout follows c.
+            clone.c_holdout = float(c) if c_holdout is None else float(c_holdout)
+        elif c_holdout is not None:
+            clone.c_holdout = float(c_holdout)
+        if lam is not None:
+            clone.lam = float(lam)
+        return clone
+
     def __repr__(self) -> str:
         return (f"ScorpionQuery({self.query!r}, outliers={len(self.outlier_results)}, "
                 f"holdouts={len(self.holdout_results)}, lam={self.lam}, c={self.c})")

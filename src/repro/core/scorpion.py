@@ -70,7 +70,10 @@ class ScorpionResult:
     #: ``masked_predicates`` / ``index_builds`` / ``index_build_seconds``,
     #: and the parallel-execution counters ``parallel_batches`` /
     #: ``parallel_shards`` (worker-side kernel counters are merged back
-    #: in, so totals match a serial run).
+    #: in, so totals match a serial run).  ``Scorpion.explain`` merges in
+    #: this call's :class:`~repro.core.cache.DTCache` window
+    #: (``dtcache_*`` deltas + entry gauge); the resident service adds
+    #: its own ``service_*`` counters on top.
     scorer_stats: dict
 
     @property
@@ -160,9 +163,17 @@ class Scorpion:
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
-    def explain(self, query: ScorpionQuery) -> ScorpionResult:
-        """Find the predicates that most influence the flagged outliers."""
-        start = time.perf_counter()
+    def build_scorer(self, query: ScorpionQuery,
+                     ) -> tuple[ScorpionQuery, InfluenceScorer]:
+        """The expensive per-problem build: attribute narrowing (when
+        enabled) plus the :class:`InfluenceScorer` problem image —
+        per-group contexts, labeled evaluator arrays, stacked states.
+
+        Returns the (possibly narrowed) query alongside its scorer so a
+        resident caller can cache both and replay :meth:`explain` against
+        them without rebuilding.  The caller owns the scorer's lifetime
+        (``scorer.close()``).
+        """
         if self.auto_select_attributes:
             query = self._narrow_attributes(query)
         scorer = InfluenceScorer(query, use_index=self.use_index,
@@ -170,6 +181,25 @@ class Scorpion:
                                  workers=self.workers,
                                  group_chunk=self.group_chunk,
                                  task_timeout=self.task_timeout)
+        return query, scorer
+
+    def explain(self, query: ScorpionQuery,
+                scorer: InfluenceScorer | None = None) -> ScorpionResult:
+        """Find the predicates that most influence the flagged outliers.
+
+        With no ``scorer``, builds one via :meth:`build_scorer` and
+        closes it before returning (the one-shot path).  With an
+        injected ``scorer`` — a cached :meth:`build_scorer` product, as
+        the resident :class:`~repro.service.ExplainService` holds — the
+        build is skipped entirely: ``query`` must be the narrowed query
+        the scorer was built from (modulo ``c``/``c_holdout``/``lam``
+        rebinds) and the scorer stays open for the caller to reuse.
+        """
+        start = time.perf_counter()
+        owned = scorer is None
+        if owned:
+            query, scorer = self.build_scorer(query)
+        cache_window = self.cache.counter_snapshot()
         try:
             partitioner = self.partitioner or self._pick_partitioner(query, scorer)
 
@@ -187,6 +217,8 @@ class Scorpion:
 
             explanations = [self._to_explanation(sp, scorer, query)
                             for sp in ranked[: self.top_k]]
+            scorer_stats = scorer.stats.as_dict()
+            scorer_stats.update(self.cache.window_stats(cache_window))
             return ScorpionResult(
                 explanations=explanations,
                 algorithm=algorithm,
@@ -194,12 +226,14 @@ class Scorpion:
                 partition_elapsed=partition_elapsed,
                 merge_elapsed=merge_elapsed,
                 n_candidates=n_candidates,
-                scorer_stats=scorer.stats.as_dict(),
+                scorer_stats=scorer_stats,
             )
         finally:
             # Release the parallel executor's worker pool and shared
-            # memory promptly (no-op for serial scorers).
-            scorer.close()
+            # memory promptly (no-op for serial scorers).  Injected
+            # scorers outlive the call — their owner closes them.
+            if owned:
+                scorer.close()
 
     # ------------------------------------------------------------------
     def _narrow_attributes(self, query: ScorpionQuery) -> ScorpionQuery:

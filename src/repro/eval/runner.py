@@ -22,6 +22,7 @@ from repro.core.scorpion import Scorpion
 from repro.errors import PartitionerError
 from repro.eval.metrics import AccuracyStats, score_predicate
 from repro.predicates.predicate import Predicate
+from repro.service.service import ExplainService
 from repro.table.table import Table
 
 
@@ -133,6 +134,8 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
                   outlier_rows: np.ndarray | None = None,
                   scorpion: Scorpion | None = None,
                   workers: int | None = None,
+                  service: ExplainService | None = None,
+                  c: float | None = None,
                   **partitioner_kwargs) -> RunRecord:
     """Run one algorithm on ``problem`` and score its best predicate.
 
@@ -142,12 +145,23 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
     ``workers`` setting then applies); otherwise ``workers`` selects the
     scorer's sharded-execution process count — influences and counters
     are identical at any setting, so benches can sweep it freely.
+
+    A resident ``service`` routes the run through its content-keyed
+    cache instead (the service's own algorithm/partitioner
+    configuration applies — bake ``partitioner_kwargs`` into it);
+    ``c`` then rebinds the knob against the cached problem image
+    rather than rebuilding via ``with_c``.
     """
-    partitioner = make_partitioner(name, **partitioner_kwargs)
-    scorpion = scorpion or Scorpion(use_cache=False, workers=workers)
-    scorpion.partitioner = partitioner
     started = time.perf_counter()
-    result = scorpion.explain(problem)
+    if service is not None:
+        result = service.explain(problem, c=c)
+    else:
+        partitioner = make_partitioner(name, **partitioner_kwargs)
+        scorpion = scorpion or Scorpion(use_cache=False, workers=workers)
+        scorpion.partitioner = partitioner
+        if c is not None:
+            problem = problem.with_c(c)
+        result = scorpion.explain(problem)
     runtime = time.perf_counter() - started
     best = result.best
     stats = None
@@ -155,7 +169,7 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
         stats = score_predicate(best.predicate, table, truth_mask, outlier_rows)
     return RunRecord(
         algorithm=name,
-        c=problem.c,
+        c=problem.c if c is None else float(c),
         predicate=best.predicate if best else None,
         influence=best.influence if best else float("nan"),
         runtime=runtime,
@@ -169,13 +183,27 @@ def sweep_c(name: str, problem: ScorpionQuery, c_values: Sequence[float],
             table: Table | None = None, truth_mask: np.ndarray | None = None,
             outlier_rows: np.ndarray | None = None,
             share_cache: bool = False, workers: int | None = None,
+            use_service: bool = False,
             **partitioner_kwargs) -> list[RunRecord]:
     """Run one algorithm across a ``c`` sweep (the axis of Figures 9–13).
 
     With ``share_cache`` the runs share a Scorpion instance so DT reuses
     partitions and merger warm starts (the Section 8.3.3 experiment).
+    With ``use_service`` the sweep runs through a resident
+    :class:`~repro.service.ExplainService` instead: the problem image,
+    index views, and worker pool are built once and every ``c`` after
+    the first rebinds against them (no per-``c`` ``with_c`` rebuild),
+    on top of the same DT partition/merge reuse ``share_cache`` gives.
     ``workers`` applies to every run (see :func:`run_algorithm`).
     """
+    if use_service:
+        with ExplainService(
+                partitioner=make_partitioner(name, **partitioner_kwargs),
+                workers=workers) as service:
+            return [run_algorithm(
+                name, problem, table=table, truth_mask=truth_mask,
+                outlier_rows=outlier_rows, service=service, c=c)
+                for c in c_values]
     scorpion = Scorpion(use_cache=True, workers=workers) if share_cache else None
     records = []
     for c in c_values:

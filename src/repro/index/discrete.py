@@ -84,6 +84,15 @@ class GroupDiscreteIndex:
     def n_codes(self) -> int:
         return len(self.offsets) - 1
 
+    def resident_bytes(self) -> int:
+        """Bytes of view data this group's bucket index holds (the
+        permutation, bucket offsets, and exact bucket sums when on the
+        bucket tier)."""
+        total = self.order.nbytes + self.offsets.nbytes
+        if self.bucket_states is not None:
+            total += self.bucket_states.nbytes
+        return int(total)
+
     @property
     def uses_buckets(self) -> bool:
         """Whether removed states come from O(1) exact bucket sums."""

@@ -182,6 +182,14 @@ class GroupAttributeIndex:
     def uses_prefix(self) -> bool:
         return self.prefix is not None
 
+    def resident_bytes(self) -> int:
+        """Bytes of view data this group's index holds (the sorted copy,
+        the permutation, and the prefix matrix when on the prefix tier)."""
+        total = self.order.nbytes + self.sorted_values.nbytes
+        if self.prefix is not None:
+            total += self.prefix.nbytes
+        return int(total)
+
     def slice_bounds(self, los: np.ndarray, his: np.ndarray,
                      closed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Sorted-position bounds ``[a, b)`` of each range.
@@ -306,6 +314,24 @@ class PrefixAggregateIndex:
     def attributes_built(self) -> tuple[str, ...]:
         """Attributes with built views (continuous first, then discrete)."""
         return tuple(self._by_attr) + tuple(self._by_discrete)
+
+    def resident_bytes(self) -> int:
+        """Bytes of *built view* data across all attributes and tiers.
+
+        Deliberately excludes ``values_by_attr`` / ``codes_by_attr`` /
+        ``group_states`` — those arrays are shared with (and accounted
+        by) the owning scorer's evaluator and contexts; counting them
+        here would double-bill the resident service's memory ledger.
+        Views, by contrast, are owned copies (sorted values, permutation
+        orders, prefix/bucket matrices) that exist only because the
+        index was built.
+        """
+        total = 0
+        for per_group in self._by_attr.values():
+            total += sum(view.resident_bytes() for view in per_group)
+        for per_group in self._by_discrete.values():
+            total += sum(view.resident_bytes() for view in per_group)
+        return int(total)
 
     @property
     def group_slices(self) -> tuple[tuple[int, int], ...]:

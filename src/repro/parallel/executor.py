@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Sequence
@@ -63,6 +64,12 @@ def _resolve_timeout(task_timeout: float | None) -> float | None:
         if not raw:
             # Legacy alias from before the knob was documented.
             raw = os.environ.get("SCORPION_WORKER_TIMEOUT", "").strip()
+            if raw:
+                warnings.warn(
+                    "SCORPION_WORKER_TIMEOUT is deprecated and will be "
+                    "removed in the release after 2026-12; set "
+                    "SCORPION_TASK_TIMEOUT instead",
+                    DeprecationWarning, stacklevel=3)
         task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
     return task_timeout if task_timeout > 0 else None
 

@@ -62,6 +62,7 @@ def initialize(spec: KernelSpec) -> None:
 def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
               attr_specs: tuple,
               group_range: tuple[int, int] | None = None,
+              scalars: tuple[float, float, float] | None = None,
               ) -> tuple[object, dict[str, float]]:
     """Score one routed shard; see the module docstring.
 
@@ -72,10 +73,21 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
     ``InfluenceScorer._reduce_group_tiles``) — the parent then runs the
     influence fold itself, so tile workers never fold and never count
     fold-side stats.
+
+    ``scalars`` is the parent scorer's current ``(c, c_holdout, λ)``.
+    The pool initializer bakes the spec's scalars into the worker
+    scorer, but a resident scorer can be *rebound* to new scalars
+    between batches while keeping the same warm pool — so every shard
+    carries the live values and the worker re-points (and drops its
+    memo, which bakes the old scalars in) when they changed.
     """
     state = _STATE
     assert state is not None, "worker used before initialize()"
     scorer = state.scorer
+    if scalars is not None and scalars != (scorer.c, scorer.c_holdout,
+                                           scorer.lam):
+        scorer.c, scorer.c_holdout, scorer.lam = scalars
+        scorer.clear_memo()
     for attr_spec in attr_specs:
         key = (attr_spec.kind, attr_spec.attribute)
         if key not in state.installed_attrs:

@@ -144,6 +144,13 @@ class ArrayMaskEvaluator:
         """Whether every clause attribute is known to this evaluator."""
         return all(self.supports(clause.attribute) for clause in predicate)
 
+    def resident_bytes(self) -> int:
+        """Bytes of comparison-array data held (continuous values plus
+        factorized codes; the small value → code dicts are ignored) —
+        one term of the resident service's per-entry memory accounting."""
+        return int(sum(values.nbytes for values in self._continuous.values())
+                   + sum(codes.nbytes for codes in self._codes.values()))
+
     # ------------------------------------------------------------------
     # Cross-process reconstruction (the parallel scoring executor)
     # ------------------------------------------------------------------

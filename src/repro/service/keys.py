@@ -1,0 +1,138 @@
+"""Content keys for the resident :class:`~repro.service.ExplainService`.
+
+A cache entry is reusable for a request exactly when the expensive build
+inputs match: the dataset bytes, the group-by query (grouping columns,
+aggregate, WHERE clause), the labeled result sets with their error
+vectors, the explanation attribute set, and the perturbation model.  The
+Section 7 knobs ``c`` / ``c_holdout`` / ``λ`` are deliberately *not*
+part of the key — the scorer rebinds them in O(1)
+(:meth:`~repro.core.influence.InfluenceScorer.rebind`), which is what
+makes warm ``c``-slider sweeps cheap.
+
+Dataset identity is a content fingerprint (BLAKE2b over every column's
+name, kind, and value bytes), not object identity: two
+:class:`~repro.table.table.Table` instances loaded from the same CSV hit
+the same entry.  The digest is memoized on the table instance, so the
+per-request cost of an identity-stable workload is one attribute read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.query.groupby import GroupByQuery
+from repro.table.table import Table
+
+#: Memoization slot for :func:`table_fingerprint` (``Table`` defines
+#: ``__eq__`` without ``__hash__``, so an external WeakKeyDictionary
+#: cannot hold instances — the digest lives on the object instead).
+_FINGERPRINT_ATTR = "_scorpion_content_fingerprint"
+
+
+def table_fingerprint(table: Table) -> str:
+    """Hex BLAKE2b digest of the table's schema and column contents.
+
+    Hashes, per column in schema order: the name, the declared kind, and
+    the value bytes (raw float64 bytes for continuous columns; a
+    NUL-delimited ``str()`` encoding for discrete object columns, whose
+    buffers hold pointers rather than values).  Memoized on the table —
+    tables are immutable by convention in this codebase (every mutation
+    returns a new ``Table``), so the digest never goes stale.
+    """
+    cached = getattr(table, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(table)).encode())
+    for name in table.schema.names:
+        spec = table.schema[name]
+        digest.update(name.encode())
+        digest.update(spec.kind.value.encode())
+        values = table.values(name)
+        if values.dtype.kind == "f":
+            digest.update(np.ascontiguousarray(values).tobytes())
+        else:
+            digest.update("\0".join(str(v) for v in values.tolist()).encode())
+    fingerprint = digest.hexdigest()
+    object.__setattr__(table, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+def _normalize_key(key) -> tuple:
+    """Group keys arrive as scalars (single group-by column) or tuples;
+    the provenance resolver accepts both for the same group, so the
+    cache key must too."""
+    return key if isinstance(key, tuple) else (key,)
+
+
+def _normalize_keys(keys: Iterable) -> tuple[tuple, ...]:
+    return tuple(sorted((_normalize_key(k) for k in keys), key=repr))
+
+
+def _normalize_error_vectors(error_vectors: float | Mapping,
+                             outliers: tuple[tuple, ...]) -> tuple:
+    """One sorted ``(key, direction)`` item per outlier, whether the
+    caller passed a scalar direction or a per-key mapping — matching how
+    :class:`~repro.core.problem.ScorpionQuery` resolves them."""
+    if isinstance(error_vectors, Mapping):
+        items = {_normalize_key(k): float(v) for k, v in error_vectors.items()}
+        return tuple((k, items[k]) for k in outliers if k in items)
+    direction = float(error_vectors)
+    return tuple((k, direction) for k in outliers)
+
+
+def request_key(table: Table, query: GroupByQuery, outliers: Iterable,
+                holdouts: Iterable = (),
+                error_vectors: float | Mapping = 1.0,
+                attributes: Iterable[str] | None = None,
+                ignore: Iterable[str] = (),
+                perturbation: str = "delete") -> tuple:
+    """Content key from *raw* request inputs, without executing the
+    group-by — the point of the resident service is that a cache hit
+    never pays the problem build.
+
+    Normalization is best-effort equivalence: scalar group keys become
+    1-tuples, label sets are order-insensitive, scalar error vectors
+    expand per outlier, and a ``None`` attribute set resolves through
+    the (schema-only) ``A_rest`` rule.  Inputs this cannot equate (e.g.
+    an outlier key the table does not contain) at worst cause a
+    redundant miss — never a wrong hit, because the entry's problem is
+    always built from the request's own arguments.
+    """
+    if attributes is None:
+        resolved_attrs = query.rest_attributes(table, ignore=ignore)
+    else:
+        resolved_attrs = tuple(attributes)
+    norm_outliers = _normalize_keys(outliers)
+    return (
+        table_fingerprint(table),
+        repr(query),
+        norm_outliers,
+        _normalize_keys(holdouts),
+        _normalize_error_vectors(error_vectors, norm_outliers),
+        resolved_attrs,
+        perturbation,
+    )
+
+
+def problem_key(problem) -> tuple:
+    """Content key of an already-built
+    :class:`~repro.core.problem.ScorpionQuery`.
+
+    Uses the problem's *resolved* state (keys from provenance, expanded
+    error vectors, resolved attributes), so it lands on the same key as
+    :func:`request_key` for the normalizable inputs both accept.
+    """
+    return (
+        table_fingerprint(problem.raw_table),
+        repr(problem.query),
+        _normalize_keys(problem.outlier_keys),
+        _normalize_keys(problem.holdout_keys),
+        tuple(sorted(problem.error_vectors.items(),
+                     key=lambda kv: repr(kv[0]))),
+        problem.attributes,
+        problem.perturbation,
+    )

@@ -1,0 +1,380 @@
+"""The resident :class:`ExplainService` — cross-call caching of the
+expensive per-problem artifacts behind a content key.
+
+A one-shot ``Scorpion.explain`` pays, on every call, for work that is
+pure function of the *problem* rather than of the Section 7 knobs: the
+group-by execution and provenance (the problem image), the labeled
+evaluator's factorized comparison arrays, the prefix-aggregate index
+views, the DT partitions, and — with ``workers > 1`` — forking a worker
+pool and publishing shared-memory segments.  An interactive session
+(the paper's ``c``-slider UI, Section 8.3.3) or an eval sweep repeats
+the same problem dozens of times with only scalar-knob changes, so a
+resident process should pay once.
+
+:class:`ExplainService` holds an LRU of cache entries keyed by
+:func:`~repro.service.keys.problem_key` / ``request_key`` — dataset
+fingerprint × group-by query × labeled sets × error vectors × attribute
+set × perturbation, deliberately excluding ``c`` / ``c_holdout`` / ``λ``
+which rebind in O(1).  Each entry owns a narrowed problem, a dedicated
+:class:`~repro.core.scorpion.Scorpion` (its own bounded DT cache), and
+the live :class:`~repro.core.influence.InfluenceScorer` carrying the
+contexts, index views, and (lazily) the started worker pool.
+
+**Equivalence contract.**  A warm ``explain`` returns a result
+bit-for-bit equal to a cold ``Scorpion.explain`` of the same problem —
+same explanations, influences, and scorer counters — except for keys in
+:data:`CACHE_STAT_KEYS`, which report exactly the cache effects (what
+was *not* rebuilt) and wall-clock timings.  The service enforces this by
+resetting scorer statistics and dropping the predicate-score memo at
+every checkout, so warm scoring replays the cold call's operations; the
+per-tuple delta memo is kept because tuple deltas are independent of
+every knob the key excludes.
+
+**Memory accounting.**  Every entry is billed its scorer's resident
+bytes — context index/state arrays, the stacked state matrix, evaluator
+comparison arrays, and built index views (the index's shared value
+arrays are aliases of evaluator arrays and excluded, so nothing is
+billed twice).  Eviction walks LRU order while over ``cache_bytes``
+(constructor > ``SCORPION_CACHE_BYTES`` > 512 MiB), skipping pinned
+(in-flight) entries; a closed entry releases its worker pool and shared
+memory.
+
+Thread-safe: a service-level lock guards the LRU and counters, a
+per-entry lock serializes requests that share an entry (scorers are
+stateful), and distinct entries execute concurrently.  The asyncio
+front end (:meth:`ExplainService.explain_async`) runs requests on
+worker threads with a per-request deadline defaulting to the same
+``SCORPION_TASK_TIMEOUT`` machinery the parallel executor uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion, ScorpionResult
+from repro.errors import ScorpionError
+from repro.parallel.executor import _resolve_timeout
+from repro.query.groupby import GroupByQuery
+from repro.service.keys import problem_key, request_key
+from repro.table.table import Table
+
+#: Default cache capacity when neither the constructor nor
+#: ``SCORPION_CACHE_BYTES`` specifies one.
+DEFAULT_CACHE_BYTES = 512 * 1024 * 1024
+
+#: ``scorer_stats`` keys that legitimately differ between a cold
+#: ``Scorpion.explain`` and a warm service call for the same problem:
+#: the service/DT-cache counters themselves, the build counters for
+#: work a warm call reuses instead of redoing, and wall-clock timings.
+#: Everything *outside* this set is covered by the bit-for-bit
+#: warm-equals-cold contract (the differential oracle in
+#: ``tests/test_service.py`` asserts exactly that).
+CACHE_STAT_KEYS = frozenset({
+    "service_cache_hit", "service_hits", "service_misses",
+    "service_evictions", "service_entries", "service_cached_bytes",
+    "dtcache_partition_hits", "dtcache_partition_misses",
+    "dtcache_entry_evictions", "dtcache_c_evictions", "dtcache_entries",
+    "index_builds", "index_build_seconds",
+    "batch_seconds", "batch_throughput",
+})
+
+
+def _resolve_cache_bytes(cache_bytes: int | None) -> int:
+    if cache_bytes is None:
+        raw = os.environ.get("SCORPION_CACHE_BYTES", "").strip()
+        cache_bytes = int(raw) if raw else DEFAULT_CACHE_BYTES
+    if cache_bytes < 0:
+        raise ScorpionError(
+            f"cache_bytes must be non-negative, got {cache_bytes}")
+    return int(cache_bytes)
+
+
+class _CacheEntry:
+    """One cached problem: its narrowed query, its Scorpion, and the
+    live scorer.  ``pins`` counts in-flight requests — pinned entries
+    are never evicted, and an entry evicted while pinned (``dead``) is
+    released by the last request to unpin it."""
+
+    __slots__ = ("key", "problem", "scorpion", "scorer", "nbytes",
+                 "pins", "dead", "lock")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self.problem: ScorpionQuery | None = None
+        self.scorpion: Scorpion | None = None
+        self.scorer = None
+        self.nbytes = 0
+        self.pins = 0
+        self.dead = False
+        self.lock = threading.Lock()
+
+    def release(self) -> None:
+        """Free the scorer's resources (worker pool, shared memory) and
+        the entry's DT cache.  Idempotent."""
+        if self.scorer is not None:
+            self.scorer.close()
+        if self.scorpion is not None:
+            self.scorpion.cache.clear()
+
+
+class ExplainService:
+    """Long-lived explain front end with content-keyed artifact caching.
+
+    Parameters
+    ----------
+    cache_bytes:
+        Resident-byte capacity for cached problem artifacts (None →
+        ``SCORPION_CACHE_BYTES``, else :data:`DEFAULT_CACHE_BYTES`;
+        ``0`` keeps nothing resident between calls).
+    **scorpion_kwargs:
+        Forwarded to each entry's :class:`~repro.core.scorpion.Scorpion`
+        (``algorithm``, ``workers``, ``top_k``, ...).
+    """
+
+    def __init__(self, cache_bytes: int | None = None, **scorpion_kwargs):
+        self.cache_bytes = _resolve_cache_bytes(cache_bytes)
+        self._scorpion_kwargs = dict(scorpion_kwargs)
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cached_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def explain(self, problem: ScorpionQuery, *, c: float | None = None,
+                c_holdout: float | None = None,
+                lam: float | None = None) -> ScorpionResult:
+        """Explain an already-built problem, reusing a cached entry when
+        one matches its content key.
+
+        ``c`` / ``c_holdout`` / ``λ`` default to the problem's own
+        values; passing them sweeps knobs against the cached image
+        without constructing new :class:`ScorpionQuery` objects.
+        """
+        if c is None:
+            # No c override: replay the problem's own (already resolved)
+            # scalars exactly.
+            c_eff = problem.c
+            ch_eff = problem.c_holdout if c_holdout is None else float(c_holdout)
+        else:
+            # c override: an unspecified c_holdout follows c, matching
+            # the ScorpionQuery constructor and with_c slider semantics.
+            c_eff = float(c)
+            ch_eff = None if c_holdout is None else float(c_holdout)
+        entry, hit = self._acquire(problem_key(problem))
+        try:
+            with entry.lock:
+                if entry.scorer is None:
+                    self._build(entry, problem)
+                return self._run(entry, hit, c=c_eff, c_holdout=ch_eff,
+                                 lam=problem.lam if lam is None else float(lam))
+        finally:
+            self._unpin(entry)
+
+    def explain_request(self, table: Table, query: GroupByQuery,
+                        outliers: Iterable, holdouts: Iterable = (),
+                        error_vectors: float | Mapping = 1.0, *,
+                        lam: float = 0.5, c: float = 1.0,
+                        c_holdout: float | None = None,
+                        attributes: Iterable[str] | None = None,
+                        ignore: Iterable[str] = (),
+                        perturbation: str = "delete") -> ScorpionResult:
+        """Explain from raw request inputs.
+
+        The content key is computed *without* executing the group-by,
+        so a cache hit skips the problem build entirely — the entry
+        point serve mode uses.  Arguments mirror
+        :class:`~repro.core.problem.ScorpionQuery`.
+        """
+        key = request_key(table, query, outliers, holdouts, error_vectors,
+                          attributes, ignore, perturbation)
+        entry, hit = self._acquire(key)
+        try:
+            with entry.lock:
+                if entry.scorer is None:
+                    problem = ScorpionQuery(
+                        table, query, outliers, holdouts=holdouts,
+                        error_vectors=error_vectors, lam=lam, c=c,
+                        c_holdout=c_holdout, attributes=attributes,
+                        ignore=ignore, perturbation=perturbation)
+                    self._build(entry, problem)
+                return self._run(entry, hit, c=float(c),
+                                 c_holdout=(None if c_holdout is None
+                                            else float(c_holdout)),
+                                 lam=float(lam))
+        finally:
+            self._unpin(entry)
+
+    async def explain_async(self, problem: ScorpionQuery, *,
+                            c: float | None = None,
+                            c_holdout: float | None = None,
+                            lam: float | None = None,
+                            deadline: float | None = None) -> ScorpionResult:
+        """Queue an explain on a worker thread with a deadline.
+
+        Concurrent calls for the same content key serialize on the
+        entry (one build, N reuses); distinct keys run concurrently.
+        ``deadline`` is seconds (None → ``SCORPION_TASK_TIMEOUT`` /
+        the executor default, the same resolution chain worker shards
+        use; ``<= 0`` waits forever); expiry raises
+        :class:`asyncio.TimeoutError` via :func:`asyncio.wait_for`.
+        """
+        if deadline is None:
+            deadline = _resolve_timeout(None)
+        elif deadline <= 0:
+            deadline = None
+        coro = asyncio.to_thread(self.explain, problem, c=c,
+                                 c_holdout=c_holdout, lam=lam)
+        if deadline is None:
+            return await coro
+        return await asyncio.wait_for(coro, deadline)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Current service counters (the same numbers each result
+        carries under ``service_*`` keys)."""
+        with self._lock:
+            return {
+                "service_hits": self.hits,
+                "service_misses": self.misses,
+                "service_evictions": self.evictions,
+                "service_entries": len(self._entries),
+                "service_cached_bytes": self.cached_bytes,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def close(self) -> None:
+        """Evict everything and refuse further requests.  Entries with
+        requests in flight are released by their last request."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self.cached_bytes = 0
+            for entry in entries:
+                entry.dead = True
+            to_release = [e for e in entries if e.pins == 0]
+        for entry in to_release:
+            entry.release()
+
+    def __enter__(self) -> "ExplainService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _acquire(self, key: tuple) -> tuple[_CacheEntry, bool]:
+        """Pin the entry for ``key``, inserting a shell on miss.  The
+        hit/miss decision happens here, atomically under the service
+        lock — concurrent same-key requests see one miss and N-1 hits
+        regardless of how their builds interleave."""
+        with self._lock:
+            if self._closed:
+                raise ScorpionError("ExplainService is closed")
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _CacheEntry(key)
+                self._entries[key] = entry
+                self.misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+            entry.pins += 1
+            return entry, hit
+
+    def _unpin(self, entry: _CacheEntry) -> None:
+        release = False
+        with self._lock:
+            entry.pins -= 1
+            if entry.dead:
+                release = entry.pins == 0
+            else:
+                self._evict_over_capacity()
+        if release:
+            entry.release()
+
+    def _build(self, entry: _CacheEntry, problem: ScorpionQuery) -> None:
+        """Populate a shell entry (entry lock held): one Scorpion with
+        its own bounded DT cache, plus the narrowed problem and scorer
+        from the build half of the pipeline."""
+        scorpion = Scorpion(**self._scorpion_kwargs)
+        narrowed, scorer = scorpion.build_scorer(problem)
+        entry.problem = narrowed
+        entry.scorpion = scorpion
+        entry.scorer = scorer
+        self._reaccount(entry)
+
+    def _run(self, entry: _CacheEntry, hit: bool, *, c: float,
+             c_holdout: float | None, lam: float) -> ScorpionResult:
+        """Execute against the entry's scorer (entry lock held).
+
+        Stats reset + memo drop first, so the scoring counters a warm
+        call reports replay a cold call's exactly (the bit-for-bit
+        contract); then rebind the knobs and run the execute half.
+        """
+        scorer = entry.scorer
+        scorer.reset_stats()
+        scorer.clear_memo()
+        target = entry.problem.with_params(c=c, c_holdout=c_holdout, lam=lam)
+        scorer.rebind(target)
+        result = entry.scorpion.explain(target, scorer=scorer)
+        self._reaccount(entry)
+        result.scorer_stats.update(self._service_stats(hit))
+        return result
+
+    def _reaccount(self, entry: _CacheEntry) -> None:
+        """Re-bill the entry's resident bytes (they grow when a run
+        builds index views lazily) and evict if now over capacity."""
+        nbytes = entry.scorer.resident_bytes()
+        with self._lock:
+            if not entry.dead:
+                self.cached_bytes += nbytes - entry.nbytes
+                entry.nbytes = nbytes
+                self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """Drop LRU entries until under capacity (service lock held).
+        Pinned entries are skipped — an in-flight request may exceed
+        capacity transiently rather than lose its scorer mid-run."""
+        if self.cached_bytes <= self.cache_bytes:
+            return
+        for key, entry in list(self._entries.items()):
+            if entry.pins > 0:
+                continue
+            del self._entries[key]
+            entry.dead = True
+            self.cached_bytes -= entry.nbytes
+            self.evictions += 1
+            entry.release()
+            if self.cached_bytes <= self.cache_bytes:
+                return
+
+    def _service_stats(self, hit: bool) -> dict:
+        with self._lock:
+            return {
+                "service_cache_hit": bool(hit),
+                "service_hits": self.hits,
+                "service_misses": self.misses,
+                "service_evictions": self.evictions,
+                "service_entries": len(self._entries),
+                "service_cached_bytes": self.cached_bytes,
+            }

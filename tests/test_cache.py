@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.cache import DTCache, query_signature
+from repro.core.cache import DEFAULT_MAX_ENTRIES, DTCache, query_signature
+from repro.errors import PartitionerError
 from repro.core.dt import DTPartitioner
 from repro.core.influence import InfluenceScorer
 from repro.core.partition import ScoredPredicate
@@ -71,6 +72,90 @@ class TestDTCache:
         assert cache.partition_misses == 0
         cache.candidates(problem, DTPartitioner(seed=0), InfluenceScorer(problem))
         assert cache.partition_misses == 1
+
+
+class TestDTCacheBounds:
+    """The cache is LRU-bounded on signatures and per-entry on stored
+    ``c`` results (a resident service would otherwise grow it forever)."""
+
+    def _fill(self, cache, n):
+        """Insert ``n`` distinct-signature entries (distinct tables →
+        distinct ``id(raw_table)``), returning the problems."""
+        problems = [avg_problem(n_per_group=60) for _ in range(n)]
+        for problem in problems:
+            cache.candidates(problem, DTPartitioner(seed=0),
+                             InfluenceScorer(problem))
+        return problems
+
+    def test_entry_lru_eviction(self):
+        cache = DTCache(max_entries=2)
+        first, second, third = self._fill(cache, 3)
+        assert len(cache) == 2
+        assert cache.entry_evictions == 1
+        # The oldest signature was dropped; re-inserting it misses.
+        cache.candidates(first, DTPartitioner(seed=0),
+                         InfluenceScorer(first))
+        assert cache.partition_misses == 4
+        # The newer two survived.
+        cache.candidates(third, DTPartitioner(seed=0),
+                         InfluenceScorer(third))
+        assert cache.partition_hits == 1
+
+    def test_hit_refreshes_lru_position(self):
+        cache = DTCache(max_entries=2)
+        first, second = self._fill(cache, 2)
+        cache.candidates(first, DTPartitioner(seed=0),
+                         InfluenceScorer(first))  # first is now MRU
+        self._fill(cache, 1)  # evicts second, not first
+        cache.candidates(first, DTPartitioner(seed=0),
+                         InfluenceScorer(first))
+        assert cache.partition_hits == 2
+        cache.candidates(second, DTPartitioner(seed=0),
+                         InfluenceScorer(second))
+        assert cache.partition_misses == 4
+
+    def test_per_entry_c_results_bounded(self):
+        problem = avg_problem(n_per_group=60, c=1.0)
+        cache = DTCache(max_c_results=2)
+        cache.candidates(problem, DTPartitioner(seed=0),
+                         InfluenceScorer(problem))
+        p = Predicate([SetClause("g", ["g0"])])
+        for c in (1.0, 0.8, 0.6):
+            cache.store_merged(problem.with_c(c),
+                               [ScoredPredicate(p, c)])
+        assert cache.c_evictions == 1
+        # c=1.0 (oldest stored) was dropped: nothing higher than 0.9
+        # remains except 1.0, so a 0.9 query falls back to nothing...
+        assert cache.merger_seeds(problem.with_c(0.9)) is None
+        # ...while 0.5 still seeds from the surviving 0.6 result.
+        assert cache.merger_seeds(problem.with_c(0.5)) == [p]
+
+    def test_env_override_and_validation(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_DTCACHE_ENTRIES", "3")
+        assert DTCache().max_entries == 3
+        monkeypatch.delenv("SCORPION_DTCACHE_ENTRIES")
+        assert DTCache().max_entries == DEFAULT_MAX_ENTRIES
+        with pytest.raises(PartitionerError):
+            DTCache(max_entries=0)
+        with pytest.raises(PartitionerError):
+            DTCache(max_c_results=0)
+
+    def test_window_stats_report_deltas(self):
+        cache = DTCache(max_entries=1)
+        snapshot = cache.counter_snapshot()
+        first, second = self._fill(cache, 2)
+        window = cache.window_stats(snapshot)
+        assert window["dtcache_partition_misses"] == 2
+        assert window["dtcache_partition_hits"] == 0
+        assert window["dtcache_entry_evictions"] == 1
+        assert window["dtcache_entries"] == 1
+        # A later window starts from a fresh snapshot.
+        snapshot = cache.counter_snapshot()
+        cache.candidates(second, DTPartitioner(seed=0),
+                         InfluenceScorer(second))
+        window = cache.window_stats(snapshot)
+        assert window["dtcache_partition_hits"] == 1
+        assert window["dtcache_partition_misses"] == 0
 
 
 class TestScorpionCaching:

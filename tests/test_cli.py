@@ -135,3 +135,75 @@ class TestRun:
         ])
         assert code == 0
         assert "algorithm: dt" in output
+
+
+class TestServe:
+    """JSON-lines resident-service mode (--serve)."""
+
+    @pytest.fixture
+    def planted_csv(self, tmp_path):
+        import numpy as np
+        from repro.table import ColumnKind, ColumnSpec, Schema
+        rng = np.random.default_rng(0)
+        rows = []
+        for g in ("a", "b", "c", "d"):
+            for _ in range(60):
+                value = 100.0 if (g in ("a", "b") and rng.uniform() < 0.3) else 10.0
+                rows.append((g, rng.uniform(0, 100), value))
+        schema = Schema([ColumnSpec("g", ColumnKind.DISCRETE),
+                         ColumnSpec("x", ColumnKind.CONTINUOUS),
+                         ColumnSpec("v", ColumnKind.CONTINUOUS)])
+        path = tmp_path / "planted.csv"
+        write_csv(Table.from_rows(schema, rows), path)
+        return str(path)
+
+    def _serve(self, csv_path, requests, extra_args=()):
+        import json
+        out = io.StringIO()
+        stdin = io.StringIO(
+            "\n".join(json.dumps(r) if isinstance(r, dict) else r
+                      for r in requests) + "\n")
+        code = run([
+            "--csv", csv_path,
+            "--query", "SELECT avg(v) FROM t GROUP BY g",
+            "--algorithm", "dt",
+            "--serve", *extra_args,
+        ], out=out, stdin=stdin)
+        return code, [json.loads(line)
+                      for line in out.getvalue().splitlines()]
+
+    def test_requests_answered_and_cached(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a", "b"], "holdouts": ["c", "d"], "c": 0.5},
+            {"outliers": ["a", "b"], "holdouts": ["c", "d"], "c": 0.1},
+        ])
+        assert code == 0
+        assert [r["ok"] for r in responses] == [True, True]
+        # Same content key (c excluded): the second request is warm.
+        assert [r["cache_hit"] for r in responses] == [False, True]
+        assert responses[0]["explanations"]
+        assert responses[1]["stats"]["service_entries"] == 1
+
+    def test_bad_request_yields_error_line_and_loop_survives(
+            self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            "not json",
+            {"c": 0.5},  # missing outliers
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ])
+        assert code == 0
+        assert [r["ok"] for r in responses] == [False, False, True]
+        assert all("error" in r for r in responses[:2])
+
+    def test_cache_bytes_flag(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ], extra_args=("--cache-bytes", "0"))
+        assert code == 0
+        # Zero capacity: nothing stays resident between requests.
+        assert [r["cache_hit"] for r in responses] == [False, False]
+        # Each response snapshots the counters while its own entry is
+        # still pinned, so it sees only the *previous* request's
+        # eviction.
+        assert responses[1]["stats"]["service_evictions"] == 1

@@ -10,6 +10,7 @@ segments are unlinked on close.
 
 import os
 import signal
+import warnings
 
 import numpy as np
 import pytest
@@ -20,6 +21,7 @@ from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
 from repro.errors import ParallelError
 from repro.parallel import ShardedScoringExecutor, resolve_workers
+from repro.parallel.executor import _resolve_timeout
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
 from repro.query.groupby import GroupByQuery
@@ -153,6 +155,29 @@ class TestParallelEquivalence:
             assert serial.stats.parallel_batches == 0
         finally:
             parallel.close()
+
+    def test_rebind_reaches_warm_pool_workers(self):
+        # The pool initializer bakes (c, c_holdout, lam) into worker
+        # scorers; a resident scorer rebound between batches must ship
+        # the live scalars with each shard or warm workers keep scoring
+        # at the stale values.
+        problem = make_problem(Sum(), c=0.5)
+        batch = mixed_batch()
+        scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
+                                 batch_chunk=8)
+        try:
+            scorer.score_batch(batch)  # pool is warm at c=0.5
+            for c, lam in ((0.1, 0.5), (0.1, 0.9), (0.8, 0.2)):
+                rebound = problem.with_params(c=c, lam=lam)
+                scorer.rebind(rebound)
+                warm = scorer.score_batch(batch)
+                cold = InfluenceScorer(rebound, cache_scores=False,
+                                       workers=1).score_batch(batch)
+                assert np.array_equal(np.asarray(warm), np.asarray(cold)), \
+                    (c, lam)
+            assert scorer.stats.parallel_batches >= 1
+        finally:
+            scorer.close()
 
     def test_shared_cache_coherence(self):
         # Batch results must populate the same memo cache score() reads.
@@ -288,6 +313,28 @@ class TestResolveWorkers:
         assert scorer.workers == 2
         assert scorer.uses_parallel
         scorer.close()
+
+
+class TestResolveTimeout:
+    def test_legacy_env_alias_warns(self, monkeypatch):
+        monkeypatch.delenv("SCORPION_TASK_TIMEOUT", raising=False)
+        monkeypatch.setenv("SCORPION_WORKER_TIMEOUT", "12")
+        with pytest.warns(DeprecationWarning,
+                          match="SCORPION_WORKER_TIMEOUT is deprecated"):
+            assert _resolve_timeout(None) == 12.0
+
+    def test_current_env_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_TASK_TIMEOUT", "34")
+        monkeypatch.setenv("SCORPION_WORKER_TIMEOUT", "12")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _resolve_timeout(None) == 34.0
+
+    def test_explicit_timeout_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_WORKER_TIMEOUT", "12")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _resolve_timeout(7.5) == 7.5
 
 
 class TestStatsConsistency:

@@ -1,0 +1,339 @@
+"""Unit and differential tests for the resident ExplainService.
+
+The load-bearing contract: a warm (cache-hit) ``ExplainService.explain``
+returns a result bit-for-bit equal to a cold one-shot
+``Scorpion.explain`` of the same problem — explanations, influences,
+matched rows, updated outputs, and every scorer counter outside
+:data:`repro.service.CACHE_STAT_KEYS`.  The oracle legs run MC and
+DT-without-cache (deterministic replay); DT *with* its cross-``c``
+cache is exercised separately because warm-started merges are "at
+least as good", not bit-identical (see ``tests/test_cache.py``).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.errors import ScorpionError
+from repro.eval.runner import sweep_c
+from repro.query.groupby import GroupByQuery
+from repro.aggregates import Sum
+from repro.service import (
+    CACHE_STAT_KEYS,
+    ExplainService,
+    problem_key,
+    request_key,
+    table_fingerprint,
+)
+
+from tests.conftest import planted_sum_table
+
+
+def make_sum_problem(c: float = 0.5, **table_kwargs) -> ScorpionQuery:
+    table, outliers, holdouts = planted_sum_table(**table_kwargs)
+    return ScorpionQuery(
+        table=table,
+        query=GroupByQuery("g", Sum(), "value"),
+        outliers=outliers,
+        holdouts=holdouts,
+        error_vectors=+1.0,
+        c=c,
+    )
+
+
+def explanation_image(result):
+    """Everything the bit-for-bit contract covers about explanations."""
+    return [(e.predicate, e.influence, e.n_matched,
+             e.updated_outliers, e.updated_holdouts)
+            for e in result.explanations]
+
+
+def assert_warm_equals_cold(warm, cold):
+    """The differential oracle: identical explanations AND identical
+    scorer counters, excluding exactly the documented cache-effect and
+    timing keys."""
+    assert explanation_image(warm) == explanation_image(cold)
+    assert warm.algorithm == cold.algorithm
+    assert warm.n_candidates == cold.n_candidates
+    keys = set(warm.scorer_stats) | set(cold.scorer_stats)
+    diverging = {
+        k for k in keys - CACHE_STAT_KEYS
+        if warm.scorer_stats.get(k) != cold.scorer_stats.get(k)
+        # *_seconds keys are wall-clock; everything else must match.
+        and not k.endswith("_seconds")
+    }
+    assert not diverging, f"counters diverge outside CACHE_STAT_KEYS: {sorted(diverging)}"
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("kwargs", [
+        {"algorithm": "mc"},
+        {"algorithm": "dt", "use_cache": False},
+        {"algorithm": "naive"},
+    ], ids=["mc", "dt-nocache", "naive"])
+    def test_warm_call_is_bit_for_bit_cold(self, kwargs):
+        problem = make_sum_problem()
+        cold = Scorpion(**kwargs).explain(problem)
+        with ExplainService(**kwargs) as service:
+            first = service.explain(problem)
+            warm = service.explain(problem)
+        assert not first.scorer_stats["service_cache_hit"]
+        assert warm.scorer_stats["service_cache_hit"]
+        assert_warm_equals_cold(first, cold)
+        assert_warm_equals_cold(warm, cold)
+
+    def test_warm_c_sweep_matches_with_c_rebuilds(self):
+        problem = make_sum_problem(c=0.5)
+        with ExplainService(algorithm="mc") as service:
+            service.explain(problem)
+            for c in (0.3, 0.1, 0.0, 0.5):
+                warm = service.explain(problem, c=c)
+                cold = Scorpion(algorithm="mc").explain(problem.with_c(c))
+                assert warm.scorer_stats["service_cache_hit"]
+                assert_warm_equals_cold(warm, cold)
+
+    def test_lam_rebinds_against_cached_image(self):
+        problem = make_sum_problem()
+        with ExplainService(algorithm="mc") as service:
+            service.explain(problem)
+            warm = service.explain(problem, lam=0.8)
+        rebound = problem.with_params(lam=0.8)
+        cold = Scorpion(algorithm="mc").explain(rebound)
+        assert_warm_equals_cold(warm, cold)
+
+    def test_dt_with_cache_warm_start_at_least_as_good(self):
+        problem = make_sum_problem(c=0.5)
+        with ExplainService(algorithm="dt") as service:
+            service.explain(problem)
+            for c in (0.3, 0.1):
+                warm = service.explain(problem, c=c)
+                cold = Scorpion(algorithm="dt",
+                                use_cache=False).explain(problem.with_c(c))
+                assert warm.best is not None
+                assert warm.best.influence >= cold.best.influence - 1e-9
+            # Warm DT runs reuse the entry's partition cache.
+            assert warm.scorer_stats["dtcache_partition_hits"] == 1
+            assert warm.scorer_stats["dtcache_partition_misses"] == 0
+
+    def test_request_entry_point_shares_the_entry(self):
+        table, outliers, holdouts = planted_sum_table()
+        query = GroupByQuery("g", Sum(), "value")
+        problem = ScorpionQuery(table, query, outliers, holdouts, +1.0, c=0.5)
+        cold = Scorpion(algorithm="mc").explain(problem)
+        with ExplainService(algorithm="mc") as service:
+            service.explain(problem)
+            via_request = service.explain_request(
+                table, query, outliers, holdouts, +1.0, c=0.5)
+        assert via_request.scorer_stats["service_cache_hit"]
+        assert_warm_equals_cold(via_request, cold)
+
+
+class TestContentKey:
+    def test_fingerprint_is_content_not_identity(self):
+        a, _, _ = planted_sum_table()
+        b, _, _ = planted_sum_table()
+        assert a is not b
+        assert table_fingerprint(a) == table_fingerprint(b)
+        c, _, _ = planted_sum_table(seed=1)
+        assert table_fingerprint(a) != table_fingerprint(c)
+
+    def test_reconstructed_equal_table_hits(self):
+        first = make_sum_problem()
+        second = make_sum_problem()  # new Table object, same content
+        assert first.raw_table is not second.raw_table
+        with ExplainService(algorithm="mc") as service:
+            service.explain(first)
+            warm = service.explain(second)
+        assert warm.scorer_stats["service_cache_hit"]
+
+    def test_key_excludes_c_and_lam(self):
+        problem = make_sum_problem(c=0.5)
+        assert problem_key(problem) == problem_key(problem.with_c(0.1))
+        assert problem_key(problem) == problem_key(
+            problem.with_params(lam=0.9))
+
+    def test_key_sees_labels_attributes_and_data(self):
+        base = make_sum_problem()
+        table, outliers, holdouts = planted_sum_table()
+        query = GroupByQuery("g", Sum(), "value")
+        swapped = ScorpionQuery(table, query, outliers, holdouts[:1], +1.0)
+        assert problem_key(base) != problem_key(swapped)
+        narrowed = ScorpionQuery(table, query, outliers, holdouts, +1.0,
+                                 attributes=("a1",))
+        assert problem_key(base) != problem_key(narrowed)
+        other_data = make_sum_problem(seed=1)
+        assert problem_key(base) != problem_key(other_data)
+
+    def test_request_key_matches_problem_key(self):
+        table, outliers, holdouts = planted_sum_table()
+        query = GroupByQuery("g", Sum(), "value")
+        problem = ScorpionQuery(table, query, outliers, holdouts, +1.0, c=0.5)
+        assert request_key(table, query, outliers, holdouts, +1.0) == \
+            problem_key(problem)
+        # Normalization: label order and scalar-vs-mapping error vectors.
+        assert request_key(table, query, list(reversed(outliers)),
+                           list(reversed(holdouts)),
+                           {k: 1.0 for k in outliers}) == problem_key(problem)
+        narrowed = ScorpionQuery(table, query, outliers, holdouts, +1.0,
+                                 attributes=("a1",))
+        assert request_key(table, query, outliers, holdouts, +1.0,
+                           attributes=("a1",)) == problem_key(narrowed)
+
+
+class TestEvictionAndMemory:
+    def test_entries_report_resident_bytes(self):
+        with ExplainService(algorithm="mc") as service:
+            result = service.explain(make_sum_problem())
+        assert result.scorer_stats["service_cached_bytes"] > 0
+        assert result.scorer_stats["service_entries"] == 1
+
+    def test_zero_capacity_keeps_nothing_resident(self):
+        problem = make_sum_problem()
+        with ExplainService(cache_bytes=0, algorithm="mc") as service:
+            service.explain(problem)
+            again = service.explain(problem)
+            stats = service.stats()
+        assert not again.scorer_stats["service_cache_hit"]
+        assert stats["service_misses"] == 2
+        assert stats["service_evictions"] == 2
+        assert stats["service_entries"] == 0
+        assert stats["service_cached_bytes"] == 0
+
+    def test_lru_eviction_under_pressure(self):
+        small = make_sum_problem(n_per_group=80)
+        other = make_sum_problem(n_per_group=50)
+        # Measure each entry's resident footprint, then size the
+        # capacity so either fits alone but not both together.
+        with ExplainService(algorithm="mc") as probe:
+            small_bytes = probe.explain(small).scorer_stats[
+                "service_cached_bytes"]
+        with ExplainService(algorithm="mc") as probe:
+            other_bytes = probe.explain(other).scorer_stats[
+                "service_cached_bytes"]
+        with ExplainService(cache_bytes=small_bytes + other_bytes - 1,
+                            algorithm="mc") as service:
+            service.explain(small)
+            service.explain(other)  # evicts `small` (LRU, over capacity)
+            stats = service.stats()
+            assert stats["service_evictions"] == 1
+            assert stats["service_entries"] == 1
+            revisit = service.explain(small)
+        assert not revisit.scorer_stats["service_cache_hit"]
+
+    def test_eviction_preserves_results(self):
+        problem = make_sum_problem()
+        cold = Scorpion(algorithm="mc").explain(problem)
+        with ExplainService(cache_bytes=0, algorithm="mc") as service:
+            for _ in range(3):
+                assert_warm_equals_cold(service.explain(problem), cold)
+
+    def test_env_capacity(self, monkeypatch):
+        monkeypatch.setenv("SCORPION_CACHE_BYTES", "12345")
+        assert ExplainService().cache_bytes == 12345
+        monkeypatch.delenv("SCORPION_CACHE_BYTES")
+        from repro.service import DEFAULT_CACHE_BYTES
+        assert ExplainService().cache_bytes == DEFAULT_CACHE_BYTES
+        with pytest.raises(ScorpionError):
+            ExplainService(cache_bytes=-1)
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_requests_build_once(self):
+        problem = make_sum_problem()
+        cold = Scorpion(algorithm="mc").explain(problem)
+        with ExplainService(algorithm="mc") as service:
+            async def fanout():
+                return await asyncio.gather(*[
+                    service.explain_async(problem) for _ in range(4)])
+            results = asyncio.run(fanout())
+            stats = service.stats()
+        assert stats["service_misses"] == 1
+        assert stats["service_hits"] == 3
+        for result in results:
+            assert explanation_image(result) == explanation_image(cold)
+
+    def test_deadline_expiry_raises(self):
+        problem = make_sum_problem()
+        with ExplainService(algorithm="mc") as service:
+            def slow_explain(*args, **kwargs):
+                time.sleep(0.5)
+                raise AssertionError("deadline should fire first")
+            service.explain = slow_explain
+            with pytest.raises(asyncio.TimeoutError):
+                asyncio.run(service.explain_async(problem, deadline=0.05))
+
+    def test_default_deadline_resolves_from_task_timeout_env(
+            self, monkeypatch):
+        problem = make_sum_problem()
+        monkeypatch.setenv("SCORPION_TASK_TIMEOUT", "0.05")
+        with ExplainService(algorithm="mc") as service:
+            def slow_explain(*args, **kwargs):
+                time.sleep(0.5)
+                raise AssertionError("deadline should fire first")
+            service.explain = slow_explain
+            with pytest.raises(asyncio.TimeoutError):
+                asyncio.run(service.explain_async(problem))
+
+    def test_zero_deadline_means_no_timeout(self):
+        problem = make_sum_problem()
+        with ExplainService(algorithm="mc") as service:
+            result = asyncio.run(service.explain_async(problem, deadline=0))
+        assert result.explanations
+
+
+class TestLifecycle:
+    def test_close_with_inflight_request_defers_release(self):
+        import threading
+        problem = make_sum_problem()
+        service = ExplainService(algorithm="mc")
+        entered, resume = threading.Event(), threading.Event()
+        inner_run = service._run
+
+        def blocking_run(entry, *args, **kwargs):
+            entered.set()
+            assert resume.wait(10)
+            return inner_run(entry, *args, **kwargs)
+
+        service._run = blocking_run
+        box = {}
+        worker = threading.Thread(
+            target=lambda: box.setdefault("r", service.explain(problem)))
+        worker.start()
+        assert entered.wait(10)
+        # The entry is pinned by the in-flight request: close() marks it
+        # dead but must not tear down the scorer under the request.
+        service.close()
+        resume.set()
+        worker.join(30)
+        assert not worker.is_alive()
+        assert box["r"].explanations
+        # The last unpin released the dead entry.
+        assert len(service) == 0
+        assert service.stats()["service_cached_bytes"] == 0
+
+    def test_close_rejects_further_requests(self):
+        problem = make_sum_problem()
+        service = ExplainService(algorithm="mc")
+        service.explain(problem)
+        service.close()
+        with pytest.raises(ScorpionError, match="closed"):
+            service.explain(problem)
+        assert len(service) == 0
+
+    def test_sweep_c_use_service_matches_plain_sweep(self):
+        table, outliers, holdouts = planted_sum_table()
+        problem = ScorpionQuery(table, GroupByQuery("g", Sum(), "value"),
+                                outliers, holdouts, +1.0, c=0.5)
+        c_values = (0.5, 0.2, 0.0)
+        plain = sweep_c("mc", problem, c_values)
+        resident = sweep_c("mc", problem, c_values, use_service=True)
+        for a, b in zip(plain, resident):
+            assert a.c == b.c
+            assert a.predicate == b.predicate
+            assert a.influence == b.influence
+        # Every run after the first hit the resident cache.
+        assert [r.scorer_stats["service_cache_hit"] for r in resident] == \
+            [False, True, True]
