@@ -25,12 +25,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from repro.core.explore import CExplorer
 from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
 from repro.errors import QueryError, ScorpionError
+from repro.obs.logs import JsonLogger, new_trace_id
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import render_profile
 from repro.query.sql import parse_query
 from repro.service.service import ExplainService
 from repro.table.io import read_csv
@@ -101,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resident cache capacity in bytes for --serve "
                              "(default: SCORPION_CACHE_BYTES env var or "
                              "512 MiB)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a per-explain span tree (also "
+                             "SCORPION_TRACE=1); results are bit-for-bit "
+                             "unaffected.  In --serve mode each response "
+                             "line carries its trace")
+    parser.add_argument("--profile", action="store_true",
+                        help="print an indented text profile of the explain "
+                             "span tree after the explanations (implies "
+                             "--trace; one-shot mode only)")
+    parser.add_argument("--metrics-file", default=None,
+                        help="write a Prometheus text-exposition dump of "
+                             "the metrics registry to this path (rewritten "
+                             "after every --serve request)")
     return parser
 
 
@@ -127,76 +144,145 @@ def _coerce_keys(keys: Sequence[str], table: Table, column: str) -> list:
     return coerced
 
 
-def _serve(args, table: Table, query, out, stdin) -> int:
+def _dump_metrics(path: str | None) -> None:
+    """Rewrite the Prometheus text-exposition dump (no-op without a
+    ``--metrics-file`` path)."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(REGISTRY.render_prometheus())
+
+
+def _explain_op(service: ExplainService, request: dict, args, table: Table,
+                query) -> dict:
+    """One serve-mode explain: resolve the request against the CLI-flag
+    defaults and run it through the resident service."""
+    req_query = (parse_query(request["query"]).to_query()
+                 if "query" in request else query)
+    group_column = req_query.group_by[0]
+    outliers = _coerce_keys(
+        [str(k) for k in request["outliers"]], table, group_column)
+    holdouts = _coerce_keys(
+        [str(k) for k in request.get("holdouts", [])],
+        table, group_column)
+    direction = request.get("direction", args.direction)
+    result = service.explain_request(
+        table, req_query, outliers, holdouts,
+        error_vectors=+1.0 if direction == "high" else -1.0,
+        lam=float(request.get("lam", args.lam)),
+        c=float(request.get("c", args.c)),
+        ignore=_split_keys(args.ignore),
+    )
+    payload = {
+        "ok": True,
+        "algorithm": result.algorithm,
+        "elapsed": result.elapsed,
+        "cache_hit": bool(result.scorer_stats["service_cache_hit"]),
+        "explanations": [
+            {"predicate": str(e.predicate),
+             "influence": float(e.influence),
+             "rows": int(e.n_matched)}
+            for e in result.explanations],
+        "stats": {
+            k: v for k, v in sorted(result.scorer_stats.items())
+            if k.startswith(("service_", "dtcache_"))},
+    }
+    if result.trace is not None:
+        payload["trace"] = result.trace
+    return payload
+
+
+def _serve(args, table: Table, query, out, stdin, log=None) -> int:
     """JSON-lines request loop over a resident :class:`ExplainService`.
 
     Each request object accepts ``outliers`` (required), ``holdouts``,
     ``direction``, ``c``, ``lam``, and ``query`` (SQL overriding the
-    startup query); omitted knobs fall back to the CLI flags.  Each
-    response line carries the ranked explanations plus the service /
-    DT-cache counters, and a malformed request yields an ``"ok":
-    false`` line instead of ending the loop.
+    startup query); omitted knobs fall back to the CLI flags.  Two
+    control operations bypass scoring: ``{"op": "stats"}`` answers with
+    :meth:`ExplainService.stats` (cache counters, latency histogram,
+    pool totals) and ``{"op": "metrics"}`` with the Prometheus text
+    dump.  Each response line carries the request's ``trace_id`` — the
+    same ID its structured log lines (on ``log``, default stderr)
+    carry — and a malformed or unknown request yields a structured
+    ``"ok": false`` line with an error ``code`` (``bad_json`` /
+    ``bad_request`` / ``unknown_op``) instead of ending the loop.
     """
+    logger = JsonLogger(stream=log)
     service = ExplainService(
         cache_bytes=args.cache_bytes, algorithm=args.algorithm,
         top_k=args.top_k, use_index=not args.no_index,
         batch_chunk=args.batch_chunk, workers=args.workers,
-        group_chunk=args.group_chunk, task_timeout=args.task_timeout)
+        group_chunk=args.group_chunk, task_timeout=args.task_timeout,
+        logger=logger, trace=True if args.trace else None)
     with service:
         for line in stdin:
             line = line.strip()
             if not line:
                 continue
+            trace_id = new_trace_id()
+            started = time.perf_counter()
             try:
                 request = json.loads(line)
-                req_query = (parse_query(request["query"]).to_query()
-                             if "query" in request else query)
-                group_column = req_query.group_by[0]
-                outliers = _coerce_keys(
-                    [str(k) for k in request["outliers"]], table, group_column)
-                holdouts = _coerce_keys(
-                    [str(k) for k in request.get("holdouts", [])],
-                    table, group_column)
-                direction = request.get("direction", args.direction)
-                result = service.explain_request(
-                    table, req_query, outliers, holdouts,
-                    error_vectors=+1.0 if direction == "high" else -1.0,
-                    lam=float(request.get("lam", args.lam)),
-                    c=float(request.get("c", args.c)),
-                    ignore=_split_keys(args.ignore),
-                )
-                payload = {
-                    "ok": True,
-                    "algorithm": result.algorithm,
-                    "elapsed": result.elapsed,
-                    "cache_hit": bool(
-                        result.scorer_stats["service_cache_hit"]),
-                    "explanations": [
-                        {"predicate": str(e.predicate),
-                         "influence": float(e.influence),
-                         "rows": int(e.n_matched)}
-                        for e in result.explanations],
-                    "stats": {
-                        k: v for k, v in sorted(result.scorer_stats.items())
-                        if k.startswith(("service_", "dtcache_"))},
-                }
+            except json.JSONDecodeError as exc:
+                payload = {"ok": False, "error": str(exc),
+                           "code": "bad_json", "trace_id": trace_id}
+                logger.log("request_error", trace_id=trace_id,
+                           code="bad_json", error=str(exc))
+                print(json.dumps(payload), file=out, flush=True)
+                continue
+            op = request.get("op", "explain") if isinstance(request, dict) \
+                else "explain"
+            logger.log("request_start", trace_id=trace_id, op=op)
+            try:
+                if not isinstance(request, dict):
+                    raise QueryError("request must be a JSON object")
+                if op == "stats":
+                    payload = {"ok": True, "op": "stats",
+                               "trace_id": trace_id,
+                               "stats": service.stats()}
+                elif op == "metrics":
+                    payload = {"ok": True, "op": "metrics",
+                               "trace_id": trace_id,
+                               "metrics": REGISTRY.render_prometheus()}
+                elif op == "explain":
+                    payload = _explain_op(service, request, args, table,
+                                          query)
+                    payload["trace_id"] = trace_id
+                else:
+                    payload = {"ok": False, "error": f"unknown op {op!r}",
+                               "code": "unknown_op", "trace_id": trace_id}
             except (ScorpionError, ValueError, KeyError, TypeError) as exc:
-                payload = {"ok": False, "error": str(exc)}
+                payload = {"ok": False, "error": str(exc),
+                           "code": "bad_request", "trace_id": trace_id}
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            if payload.get("ok"):
+                finish_fields = {"op": op, "elapsed_ms": round(elapsed_ms, 3)}
+                if "cache_hit" in payload:
+                    finish_fields["cache_hit"] = payload["cache_hit"]
+                logger.log("request_finish", trace_id=trace_id,
+                           **finish_fields)
+            else:
+                logger.log("request_error", trace_id=trace_id,
+                           code=payload.get("code", "bad_request"),
+                           error=payload.get("error"))
             print(json.dumps(payload), file=out, flush=True)
+            _dump_metrics(args.metrics_file)
+    _dump_metrics(args.metrics_file)
     return 0
 
 
 def run(argv: Sequence[str] | None = None, out=sys.stdout,
-        stdin=sys.stdin) -> int:
+        stdin=sys.stdin, log=None) -> int:
     """Entry point; returns a process exit code (``stdin`` feeds
-    ``--serve`` requests and exists for tests)."""
+    ``--serve`` requests, ``log`` receives ``--serve`` structured JSON
+    log lines — default stderr; both exist for tests)."""
     args = build_parser().parse_args(argv)
     try:
         table = read_csv(args.csv)
         parsed = parse_query(args.query)
         query = parsed.to_query()
         if args.serve:
-            return _serve(args, table, query, out, stdin)
+            return _serve(args, table, query, out, stdin, log)
         group_column = query.group_by[0]
         outliers = _coerce_keys(_split_keys(args.outliers), table, group_column)
         holdouts = _coerce_keys(_split_keys(args.holdouts), table, group_column)
@@ -217,15 +303,21 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout,
                             batch_chunk=args.batch_chunk,
                             workers=args.workers,
                             group_chunk=args.group_chunk,
-                            task_timeout=args.task_timeout)
+                            task_timeout=args.task_timeout,
+                            trace=(True if args.trace or args.profile
+                                   else None))
         if args.explore_c:
             exploration = CExplorer(scorpion).explore(problem)
             print(exploration.to_string(), file=out)
+            _dump_metrics(args.metrics_file)
             return 0
         result = scorpion.explain(problem)
         print(f"algorithm: {result.algorithm}  "
               f"({result.elapsed:.2f}s, {result.n_candidates} candidates)",
               file=out)
+        if args.profile and result.trace:
+            print(render_profile(result.trace), file=out)
+        _dump_metrics(args.metrics_file)
         if not result.explanations:
             print("no influential predicate found", file=out)
             return 1

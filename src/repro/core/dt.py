@@ -46,6 +46,7 @@ from repro.core.influence import GroupContext, InfluenceScorer
 from repro.core.partition import CandidatePredicate, GroupRemovalStats, PartitionerResult
 from repro.core.problem import ScorpionQuery
 from repro.errors import PartitionerError
+from repro.obs.trace import span
 from repro.predicates.clause import Clause, RangeClause, SetClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
@@ -159,17 +160,30 @@ class DTPartitioner:
         self._query = query
         self._scorer = scorer
 
-        outlier_groups = [self._prepare_group(scorer, ctx) for ctx in scorer.outlier_contexts]
-        partitions_o = self._partition(outlier_groups)
+        with span("partition_outliers") as osp:
+            outlier_groups = [self._prepare_group(scorer, ctx)
+                              for ctx in scorer.outlier_contexts]
+            partitions_o = self._partition(outlier_groups)
+            if osp:
+                osp.annotate(groups=len(outlier_groups),
+                             partitions=len(partitions_o))
         if scorer.holdout_contexts:
-            holdout_groups = [self._prepare_group(scorer, ctx)
-                              for ctx in scorer.holdout_contexts]
-            partitions_h = self._partition(holdout_groups)
-            predicates = self._combine(partitions_o, partitions_h)
+            with span("partition_holdouts") as hsp:
+                holdout_groups = [self._prepare_group(scorer, ctx)
+                                  for ctx in scorer.holdout_contexts]
+                partitions_h = self._partition(holdout_groups)
+                if hsp:
+                    hsp.annotate(groups=len(holdout_groups),
+                                 partitions=len(partitions_h))
+            with span("combine"):
+                predicates = self._combine(partitions_o, partitions_h)
         else:
             predicates = [p.predicate for p in partitions_o]
 
-        candidates = self._build_candidates(predicates, outlier_groups)
+        with span("build_candidates") as csp:
+            candidates = self._build_candidates(predicates, outlier_groups)
+            if csp:
+                csp.annotate(candidates=len(candidates))
         candidates.sort(key=lambda c: c.score, reverse=True)
         # Leaf predicates that collapsed to one range clause are the
         # index fast path's shape; declare their attributes now so the

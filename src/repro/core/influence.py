@@ -121,6 +121,8 @@ from repro.core.problem import ScorpionQuery
 from repro.errors import AggregateError, PredicateError
 from repro.index import IndexPlanner, PrefixAggregateIndex
 from repro.index.cost import CostModel, calibration_count
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import current_tracer, span
 from repro.parallel import resolve_workers
 from repro.predicates.clause import RangeClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
@@ -682,15 +684,18 @@ class InfluenceScorer:
         if attributes is None:
             attributes = (self._labeled_evaluator.continuous_attributes
                           + self._labeled_evaluator.discrete_attributes)
-        built = []
-        for attribute in attributes:
-            if self._index.supports(attribute):
-                self._index.ensure(attribute)
-                built.append(attribute)
-            elif self._index.supports_discrete(attribute):
-                self._index.ensure_discrete(attribute)
-                built.append(attribute)
-        self._sync_index_stats()
+        with span("prepare_index") as sp:
+            built = []
+            for attribute in attributes:
+                if self._index.supports(attribute):
+                    self._index.ensure(attribute)
+                    built.append(attribute)
+                elif self._index.supports_discrete(attribute):
+                    self._index.ensure_discrete(attribute)
+                    built.append(attribute)
+            self._sync_index_stats()
+            if sp:
+                sp.annotate(attributes=len(built))
         return tuple(built)
 
     def _sync_index_stats(self) -> None:
@@ -807,6 +812,35 @@ class InfluenceScorer:
         scored through the scalar machinery within the same call.
         """
         predicates = list(predicates)
+        tracer = current_tracer()
+        if tracer is None:
+            return self._score_batch_impl(predicates, ignore_holdouts)
+        # Traced wrapper: the batch's routing/tier profile is recovered
+        # from counter deltas so the scoring path itself is untouched
+        # (bit-for-bit identical to the untraced run).
+        stats = self.stats
+        base = (stats.cache_hits, stats.masked_predicates,
+                stats.indexed_ranges, stats.indexed_sets,
+                stats.indexed_conjunctions, stats.parallel_shards,
+                stats.parallel_batches)
+        with tracer.begin("score_batch") as sp:
+            out = self._score_batch_impl(predicates, ignore_holdouts)
+            sp.annotate(
+                predicates=len(predicates),
+                groups=self._count_active_contexts(ignore_holdouts),
+                cache_hits=stats.cache_hits - base[0],
+                masked=stats.masked_predicates - base[1],
+                ranges=stats.indexed_ranges - base[2],
+                sets=stats.indexed_sets - base[3],
+                conjunctions=stats.indexed_conjunctions - base[4],
+                shards=stats.parallel_shards - base[5],
+                parallel=stats.parallel_batches > base[6],
+            )
+        return out
+
+    def _score_batch_impl(self, predicates: list,
+                          ignore_holdouts: bool) -> np.ndarray:
+        """The :meth:`score_batch` body (see its docstring)."""
         started = time.perf_counter()
         self.stats.batch_calls += 1
         self.stats.batch_predicates += len(predicates)
@@ -1047,6 +1081,7 @@ class InfluenceScorer:
                               for kind, attr in probe_attrs)
                 add_tasks(3, ci, "indexed_conj",
                           [plan for _, plan in chunk], specs)
+            submit_s = time.perf_counter()
             results = executor.run(tasks)
         except Exception as exc:  # noqa: BLE001 - availability over purity:
             # a broken pool must never break scoring, only slow it down.
@@ -1056,9 +1091,24 @@ class InfluenceScorer:
             self._disable_parallel()
             return None
         per_task = []
-        for shard_values, worker_counters in results:
+        tracer = current_tracer()
+        for task, (shard_values, worker_counters) in zip(tasks, results):
             self.stats.merge_worker_counters(worker_counters)
             per_task.append(shard_values)
+            if tracer is not None:
+                # Worker-side perf_counter() stamps ride back in the
+                # counters dict (ignored by merge_worker_counters);
+                # CLOCK_MONOTONIC is machine-wide, so t0 minus the
+                # parent's submit stamp is the shard's real queue wait.
+                t0 = worker_counters.get("shard_t0")
+                t1 = worker_counters.get("shard_t1")
+                if t0 is not None and t1 is not None:
+                    attrs = {"kind": task[0], "items": len(task[1]),
+                             "queue_wait_ms": round(
+                                 max(0.0, t0 - submit_s) * 1e3, 3)}
+                    if task[4] is not None:
+                        attrs["tile"] = list(task[4])
+                    tracer.add_span("shard", t0, t1, attrs)
         self.stats.parallel_batches += 1
         self.stats.parallel_shards += len(tasks)
         values: tuple[list, list, list, list] = (
@@ -1148,6 +1198,9 @@ class InfluenceScorer:
     def _disable_parallel(self) -> None:
         """Permanently route this scorer's batches through the serial
         path and release the pool + shared memory."""
+        REGISTRY.counter(
+            "scorpion_pool_failures_total",
+            "Worker-pool failures that forced a serial fallback").inc()
         self._parallel_disabled = True
         self.close()
 

@@ -46,6 +46,7 @@ from repro.core.partition import (
 )
 from repro.core.problem import ScorpionQuery
 from repro.errors import PartitionerError
+from repro.obs.trace import span
 from repro.predicates.clause import SetClause
 from repro.predicates.discretizer import EquiWidthDiscretizer
 from repro.predicates.predicate import Predicate
@@ -156,31 +157,34 @@ class MCPartitioner:
         max_rounds = self.max_iterations or len(query.attributes)
 
         for round_index in range(max_rounds):
-            if round_index > 0:
-                cells = self._intersect(cells)
-            if not cells:
-                break
-            cells = self._prune(cells, index, best_influence)
-            if not cells:
-                break
-            cell_scores = scorer.score_batch(
-                [cell.predicate for cell in cells], ignore_holdouts=True)
-            candidates = [
-                CandidatePredicate(cell.predicate, score=float(score))
-                for cell, score in zip(cells, cell_scores)
-            ]
-            merged = merger.run(candidates)
-            for scored in merged:
-                previous = ranked.get(scored.predicate)
-                if previous is None or scored.influence > previous:
-                    ranked[scored.predicate] = scored.influence
-            better = [sp for sp in merged if sp.influence > best_influence]
-            if not better:
-                break
-            best_influence = max(sp.influence for sp in better)
-            promising = [sp.predicate for sp in better]
-            cells = [cell for cell in cells
-                     if any(pm.contains(cell.predicate) for pm in promising)]
+            with span("mc_round") as rsp:
+                if round_index > 0:
+                    cells = self._intersect(cells)
+                if not cells:
+                    break
+                cells = self._prune(cells, index, best_influence)
+                if rsp:
+                    rsp.annotate(round=round_index + 1, cells=len(cells))
+                if not cells:
+                    break
+                cell_scores = scorer.score_batch(
+                    [cell.predicate for cell in cells], ignore_holdouts=True)
+                candidates = [
+                    CandidatePredicate(cell.predicate, score=float(score))
+                    for cell, score in zip(cells, cell_scores)
+                ]
+                merged = merger.run(candidates)
+                for scored in merged:
+                    previous = ranked.get(scored.predicate)
+                    if previous is None or scored.influence > previous:
+                        ranked[scored.predicate] = scored.influence
+                better = [sp for sp in merged if sp.influence > best_influence]
+                if not better:
+                    break
+                best_influence = max(sp.influence for sp in better)
+                promising = [sp.predicate for sp in better]
+                cells = [cell for cell in cells
+                         if any(pm.contains(cell.predicate) for pm in promising)]
 
         ranked_list = [ScoredPredicate(p, inf) for p, inf in ranked.items()]
         ranked_list.sort(key=lambda sp: sp.influence, reverse=True)

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.influence import INVALID_INFLUENCE, InfluenceScorer
 from repro.core.partition import CandidatePredicate, ScoredPredicate
 from repro.errors import PartitionerError
+from repro.obs.trace import span
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
 from repro.predicates.space import Domain
@@ -296,52 +297,62 @@ class Merger:
                              estimate=self._estimate(predicate, candidates),
                              members={predicate})
                   for predicate, exact in zip(starts, start_exacts)]
+        round_no = 0
         while True:
-            proposals: list[tuple[_Expansion, Predicate, Predicate, float]] = []
-            for state in states:
-                if not state.active:
-                    continue
-                if state.scans >= self.params.max_rounds:
-                    state.active = False
-                    continue
-                state.scans += 1
-                merges: list[tuple[Predicate, Predicate]] = []
-                neighbors = 0
-                for other in candidates:
-                    if other.predicate in state.members:
+            round_no += 1
+            with span("merge_round") as rsp:
+                proposals: list[tuple[_Expansion, Predicate, Predicate,
+                                      float]] = []
+                for state in states:
+                    if not state.active:
                         continue
-                    if not state.current.is_adjacent_to(other.predicate):
+                    if state.scans >= self.params.max_rounds:
+                        state.active = False
                         continue
-                    neighbors += 1
-                    if neighbors > self.params.max_neighbors:
-                        break
-                    merges.append((state.current.merge(other.predicate),
-                                   other.predicate))
-                if not merges:
-                    state.active = False
-                    continue
-                estimates = self._estimate_batch([m for m, _ in merges])
-                self.report.n_merge_evaluations += len(merges)
-                best_index = int(np.argmax(estimates))
-                estimate = float(estimates[best_index])
-                if not estimate > state.estimate:
-                    state.active = False
-                    continue
-                merged, member = merges[best_index]
-                proposals.append((state, merged, member, estimate))
-            if not proposals:
-                break
-            exacts = self.scorer.score_batch(
-                [merged for _, merged, _, _ in proposals])
-            for (state, merged, member, estimate), exact in zip(proposals,
-                                                                exacts):
-                if float(exact) <= state.exact:
-                    state.active = False
-                    continue
-                state.current = merged
-                state.estimate = estimate
-                state.exact = float(exact)
-                state.members.add(member)
+                    state.scans += 1
+                    merges: list[tuple[Predicate, Predicate]] = []
+                    neighbors = 0
+                    for other in candidates:
+                        if other.predicate in state.members:
+                            continue
+                        if not state.current.is_adjacent_to(other.predicate):
+                            continue
+                        neighbors += 1
+                        if neighbors > self.params.max_neighbors:
+                            break
+                        merges.append((state.current.merge(other.predicate),
+                                       other.predicate))
+                    if not merges:
+                        state.active = False
+                        continue
+                    estimates = self._estimate_batch([m for m, _ in merges])
+                    self.report.n_merge_evaluations += len(merges)
+                    best_index = int(np.argmax(estimates))
+                    estimate = float(estimates[best_index])
+                    if not estimate > state.estimate:
+                        state.active = False
+                        continue
+                    merged, member = merges[best_index]
+                    proposals.append((state, merged, member, estimate))
+                if rsp:
+                    rsp.annotate(round=round_no, proposals=len(proposals))
+                if not proposals:
+                    break
+                exacts = self.scorer.score_batch(
+                    [merged for _, merged, _, _ in proposals])
+                adopted = 0
+                for (state, merged, member, estimate), exact in zip(proposals,
+                                                                    exacts):
+                    if float(exact) <= state.exact:
+                        state.active = False
+                        continue
+                    state.current = merged
+                    state.estimate = estimate
+                    state.exact = float(exact)
+                    state.members.add(member)
+                    adopted += 1
+                if rsp:
+                    rsp.annotate(adopted=adopted)
         return [state.current for state in states]
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.core.naive import NaivePartitioner
 from repro.core.partition import ScoredPredicate
 from repro.core.problem import ScorpionQuery
 from repro.errors import PartitionerError
+from repro.obs.trace import Tracer, current_tracer, span, tracing_enabled
 from repro.predicates.predicate import Predicate
 
 
@@ -75,6 +76,11 @@ class ScorpionResult:
     #: (``dtcache_*`` deltas + entry gauge); the resident service adds
     #: its own ``service_*`` counters on top.
     scorer_stats: dict
+    #: Exported span tree (flat list of span dicts; see
+    #: :meth:`repro.obs.trace.Tracer.export`) when tracing was enabled
+    #: for this call — via ``SCORPION_TRACE=1``, ``trace=True``, or the
+    #: resident service's per-request tracer.  ``None`` when off.
+    trace: list | None = None
 
     @property
     def best(self) -> Explanation | None:
@@ -133,6 +139,12 @@ class Scorpion:
         Per-shard worker deadline in seconds (None = the
         ``SCORPION_TASK_TIMEOUT`` environment variable, else the
         executor default; ``<= 0`` waits forever).
+    trace:
+        Record a per-call span tree on :attr:`ScorpionResult.trace`
+        (None = the ``SCORPION_TRACE`` environment variable, default
+        off).  Tracing never changes results — the differential oracle
+        runs a traced leg, and ``bench_obs_overhead.py`` pins the
+        overhead.
     """
 
     def __init__(self, algorithm: str = "auto", partitioner=None,
@@ -143,7 +155,8 @@ class Scorpion:
                  use_index: bool = True, batch_chunk: int | None = None,
                  workers: int | None = None,
                  group_chunk: int | None = None,
-                 task_timeout: float | None = None):
+                 task_timeout: float | None = None,
+                 trace: bool | None = None):
         if algorithm not in ("auto", "dt", "mc", "naive"):
             raise PartitionerError(f"unknown algorithm {algorithm!r}")
         if top_k < 1:
@@ -160,6 +173,7 @@ class Scorpion:
         self.workers = workers
         self.group_chunk = group_chunk
         self.task_timeout = task_timeout
+        self.trace = tracing_enabled() if trace is None else bool(trace)
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
@@ -174,13 +188,17 @@ class Scorpion:
         them without rebuilding.  The caller owns the scorer's lifetime
         (``scorer.close()``).
         """
-        if self.auto_select_attributes:
-            query = self._narrow_attributes(query)
-        scorer = InfluenceScorer(query, use_index=self.use_index,
-                                 batch_chunk=self.batch_chunk,
-                                 workers=self.workers,
-                                 group_chunk=self.group_chunk,
-                                 task_timeout=self.task_timeout)
+        with span("build") as sp:
+            if self.auto_select_attributes:
+                query = self._narrow_attributes(query)
+            scorer = InfluenceScorer(query, use_index=self.use_index,
+                                     batch_chunk=self.batch_chunk,
+                                     workers=self.workers,
+                                     group_chunk=self.group_chunk,
+                                     task_timeout=self.task_timeout)
+            if sp:
+                sp.annotate(groups=len(scorer.contexts),
+                            attributes=len(query.attributes))
         return query, scorer
 
     def explain(self, query: ScorpionQuery,
@@ -197,43 +215,68 @@ class Scorpion:
         """
         start = time.perf_counter()
         owned = scorer is None
-        if owned:
-            query, scorer = self.build_scorer(query)
-        cache_window = self.cache.counter_snapshot()
+        # Tracer ownership: when a caller (the resident service) already
+        # activated one, spans land there and the caller exports; a
+        # standalone traced Scorpion owns the whole lifecycle itself.
+        own_tracer = self.trace and current_tracer() is None
+        tracer = Tracer().activate() if own_tracer else None
         try:
-            partitioner = self.partitioner or self._pick_partitioner(query, scorer)
+            with span("explain") as root:
+                if owned:
+                    query, scorer = self.build_scorer(query)
+                cache_window = self.cache.counter_snapshot()
+                try:
+                    partitioner = (self.partitioner
+                                   or self._pick_partitioner(query, scorer))
 
-            merge_elapsed = 0.0
-            if isinstance(partitioner, DTPartitioner):
-                ranked, partition_elapsed, merge_elapsed, n_candidates = (
-                    self._run_dt(query, partitioner, scorer))
-                algorithm = "dt"
-            else:
-                result = partitioner.run(query, scorer)
-                ranked = result.ranked
-                partition_elapsed = result.elapsed
-                n_candidates = result.n_evaluated
-                algorithm = partitioner.name
+                    merge_elapsed = 0.0
+                    if isinstance(partitioner, DTPartitioner):
+                        ranked, partition_elapsed, merge_elapsed, n_candidates = (
+                            self._run_dt(query, partitioner, scorer))
+                        algorithm = "dt"
+                    else:
+                        with span("partition") as psp:
+                            result = partitioner.run(query, scorer)
+                            if psp:
+                                psp.annotate(algorithm=partitioner.name,
+                                             candidates=result.n_evaluated)
+                        ranked = result.ranked
+                        partition_elapsed = result.elapsed
+                        n_candidates = result.n_evaluated
+                        algorithm = partitioner.name
 
-            explanations = [self._to_explanation(sp, scorer, query)
-                            for sp in ranked[: self.top_k]]
-            scorer_stats = scorer.stats.as_dict()
-            scorer_stats.update(self.cache.window_stats(cache_window))
-            return ScorpionResult(
-                explanations=explanations,
-                algorithm=algorithm,
-                elapsed=time.perf_counter() - start,
-                partition_elapsed=partition_elapsed,
-                merge_elapsed=merge_elapsed,
-                n_candidates=n_candidates,
-                scorer_stats=scorer_stats,
-            )
+                    with span("finalize") as fsp:
+                        explanations = [self._to_explanation(sp, scorer, query)
+                                        for sp in ranked[: self.top_k]]
+                        if fsp:
+                            fsp.annotate(explanations=len(explanations))
+                    scorer_stats = scorer.stats.as_dict()
+                    scorer_stats.update(self.cache.window_stats(cache_window))
+                    if root:
+                        root.annotate(algorithm=algorithm,
+                                      candidates=n_candidates)
+                    explained = ScorpionResult(
+                        explanations=explanations,
+                        algorithm=algorithm,
+                        elapsed=time.perf_counter() - start,
+                        partition_elapsed=partition_elapsed,
+                        merge_elapsed=merge_elapsed,
+                        n_candidates=n_candidates,
+                        scorer_stats=scorer_stats,
+                    )
+                finally:
+                    # Release the parallel executor's worker pool and
+                    # shared memory promptly (no-op for serial scorers).
+                    # Injected scorers outlive the call — their owner
+                    # closes them.
+                    if owned:
+                        scorer.close()
+            if own_tracer:
+                explained.trace = tracer.export()
+            return explained
         finally:
-            # Release the parallel executor's worker pool and shared
-            # memory promptly (no-op for serial scorers).  Injected
-            # scorers outlive the call — their owner closes them.
-            if owned:
-                scorer.close()
+            if own_tracer:
+                tracer.deactivate()
 
     # ------------------------------------------------------------------
     def _narrow_attributes(self, query: ScorpionQuery) -> ScorpionQuery:
@@ -277,18 +320,26 @@ class Scorpion:
     def _run_dt(self, query: ScorpionQuery, partitioner: DTPartitioner,
                 scorer: InfluenceScorer):
         merge_start: float
-        if self.use_cache:
-            candidates, partition_elapsed = self.cache.candidates(
-                query, partitioner, scorer)
-            seeds = self.cache.merger_seeds(query)
-        else:
-            result = partitioner.run(query, scorer)
-            candidates = result.candidates
-            seeds = None
-            partition_elapsed = result.elapsed
+        with span("partition") as psp:
+            if self.use_cache:
+                candidates, partition_elapsed = self.cache.candidates(
+                    query, partitioner, scorer)
+                seeds = self.cache.merger_seeds(query)
+            else:
+                result = partitioner.run(query, scorer)
+                candidates = result.candidates
+                seeds = None
+                partition_elapsed = result.elapsed
+            if psp:
+                psp.annotate(algorithm="dt", candidates=len(candidates),
+                             cached=self.use_cache and partition_elapsed == 0.0,
+                             seeds=len(seeds) if seeds else 0)
         merger = Merger(scorer, query.domain, params=self.merger_params)
         merge_start = time.perf_counter()
-        merged = merger.run(candidates, seeds=seeds)
+        with span("merge") as msp:
+            merged = merger.run(candidates, seeds=seeds)
+            if msp:
+                msp.annotate(merged=len(merged))
         merge_elapsed = time.perf_counter() - merge_start
         if self.use_cache:
             self.cache.store_merged(query, merged)

@@ -21,6 +21,7 @@ from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
 from repro.errors import PartitionerError
 from repro.eval.metrics import AccuracyStats, score_predicate
+from repro.obs.trace import phase_totals
 from repro.predicates.predicate import Predicate
 from repro.service.service import ExplainService
 from repro.table.table import Table
@@ -45,6 +46,16 @@ class RunRecord:
     #: parallel-execution counters (``parallel_batches`` /
     #: ``parallel_shards``) with worker-side kernel counters merged in.
     scorer_stats: dict = field(default_factory=dict)
+    #: Per-phase wall-clock breakdown in seconds.  Always carries the
+    #: result's ``partition`` / ``merge`` timings; with tracing enabled
+    #: (``SCORPION_TRACE=1`` or a traced Scorpion/service) every span
+    #: name is a key — ``score_batch``, ``merge_round``, ``build``,
+    #: ``prepare_index``, ``shard``, ... — each summed across the run
+    #: (see :func:`repro.obs.trace.phase_totals`).
+    phase_seconds: dict = field(default_factory=dict)
+    #: The run's exported span tree when tracing was enabled
+    #: (:attr:`ScorpionResult.trace`), else ``None``.
+    trace: list | None = None
 
     @property
     def f_score(self) -> float:
@@ -167,6 +178,10 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
     stats = None
     if best is not None and table is not None and truth_mask is not None:
         stats = score_predicate(best.predicate, table, truth_mask, outlier_rows)
+    phase_seconds = {"partition": result.partition_elapsed,
+                     "merge": result.merge_elapsed}
+    if result.trace:
+        phase_seconds.update(phase_totals(result.trace))
     return RunRecord(
         algorithm=name,
         c=problem.c if c is None else float(c),
@@ -176,6 +191,8 @@ def run_algorithm(name: str, problem: ScorpionQuery, table: Table | None = None,
         stats=stats,
         n_candidates=result.n_candidates,
         scorer_stats=result.scorer_stats,
+        phase_seconds=phase_seconds,
+        trace=result.trace,
     )
 
 

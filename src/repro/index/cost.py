@@ -82,6 +82,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+
 __all__ = [
     "CostConstants",
     "CostModel",
@@ -229,8 +232,12 @@ class CostModel:
         global _SHARED, _CALIBRATIONS
         if _SHARED is None:
             if calibration_enabled():
-                _SHARED = cls(calibrate())
+                with span("cost_calibration"):
+                    _SHARED = cls(calibrate())
                 _CALIBRATIONS += 1
+                REGISTRY.counter(
+                    "scorpion_cost_calibrations_total",
+                    "Cost-model microcalibration passes run").inc()
             else:
                 _SHARED = cls(DEFAULT_CONSTANTS)
         return _SHARED

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.errors import PredicateError
 from repro.index.discrete import GroupDiscreteIndex
+from repro.obs.trace import span
 from repro.predicates.clause import Clause, RangeClause, SetClause
 
 #: Per-column absolute-sum budget under which integer-valued state
@@ -448,11 +449,15 @@ class PrefixAggregateIndex:
                     f"no continuous attribute {attribute!r} in index"
                 ) from None
             started = time.perf_counter()
-            per_group = [
-                GroupAttributeIndex(values[start:stop], states, exact)
-                for (start, stop), states, exact
-                in zip(self._slices, self._states, self._exact)
-            ]
+            with span("index_build") as sp:
+                per_group = [
+                    GroupAttributeIndex(values[start:stop], states, exact)
+                    for (start, stop), states, exact
+                    in zip(self._slices, self._states, self._exact)
+                ]
+                if sp:
+                    sp.annotate(attribute=attribute, kind="range",
+                                groups=len(per_group))
             self._by_attr[attribute] = per_group
             self.build_count += 1
             self.build_seconds += time.perf_counter() - started
@@ -471,11 +476,16 @@ class PrefixAggregateIndex:
                 ) from None
             n_codes = len(self._code_tables[attribute])
             started = time.perf_counter()
-            per_group = [
-                GroupDiscreteIndex(codes[start:stop], n_codes, states, exact)
-                for (start, stop), states, exact
-                in zip(self._slices, self._states, self._exact)
-            ]
+            with span("index_build") as sp:
+                per_group = [
+                    GroupDiscreteIndex(codes[start:stop], n_codes, states,
+                                       exact)
+                    for (start, stop), states, exact
+                    in zip(self._slices, self._states, self._exact)
+                ]
+                if sp:
+                    sp.annotate(attribute=attribute, kind="discrete",
+                                groups=len(per_group))
             self._by_discrete[attribute] = per_group
             self.build_count += 1
             self.build_seconds += time.perf_counter() - started

@@ -1,0 +1,74 @@
+"""Structured JSON-lines logging for the serve loop.
+
+One JSON object per line on a stream of the caller's choice (stderr by
+default, so serve responses on stdout stay machine-parseable).  Every
+record carries a wall-clock ``ts``, an ``event`` name, and — for
+request-scoped events — the request's ``trace_id``, which also appears
+in the serve response line so a log line and its response can be
+joined.
+
+``SCORPION_SLOW_MS`` sets a slow-request threshold: ``request_finish``
+events whose ``elapsed_ms`` meets it gain ``"slow": true``, giving a
+grep-able signal without a separate sampling pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import time
+
+__all__ = ["JsonLogger", "new_trace_id"]
+
+#: Process-unique prefix so trace IDs from concurrent serve processes
+#: never collide in shared log storage.
+_NONCE = f"{os.getpid():x}-{time.time_ns() & 0xFFFFFF:06x}"
+_SEQUENCE = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A short process-unique request ID, e.g. ``"1a2b-3f00ab-7"``."""
+    return f"{_NONCE}-{next(_SEQUENCE)}"
+
+
+def _slow_threshold_ms() -> float | None:
+    raw = os.environ.get("SCORPION_SLOW_MS", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+class JsonLogger:
+    """Writes one JSON log record per line.
+
+    Parameters
+    ----------
+    stream:
+        Target stream; ``None`` resolves to ``sys.stderr`` at log time
+        (so pytest's capture replacement is honored).
+    slow_ms:
+        Slow-request threshold in milliseconds; ``None`` reads
+        ``SCORPION_SLOW_MS`` (unset = no slow flagging).
+    """
+
+    def __init__(self, stream=None, slow_ms: float | None = None):
+        self.stream = stream
+        self.slow_ms = _slow_threshold_ms() if slow_ms is None else slow_ms
+
+    def log(self, event: str, trace_id: str | None = None, **fields) -> None:
+        record: dict = {"ts": round(time.time(), 6), "event": event}
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        if (self.slow_ms is not None and event == "request_finish"
+                and record.get("elapsed_ms", 0) >= self.slow_ms):
+            record["slow"] = True
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(json.dumps(record, sort_keys=True, default=str), file=stream,
+              flush=True)

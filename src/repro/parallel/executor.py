@@ -29,6 +29,7 @@ from multiprocessing import shared_memory
 from typing import Sequence
 
 from repro.errors import ParallelError
+from repro.obs.metrics import REGISTRY
 from repro.parallel import worker as _worker
 from repro.parallel.kernel import KernelSpec
 from repro.parallel.shm import destroy_segment
@@ -127,6 +128,9 @@ class ShardedScoringExecutor:
         except Exception as exc:
             self.close()
             raise ParallelError(f"could not start worker pool: {exc}") from exc
+        REGISTRY.counter(
+            "scorpion_pool_starts_total",
+            "Worker pools started (first start and every restart)").inc()
 
     def register_segment(self, shm: shared_memory.SharedMemory) -> None:
         """Adopt a later-created segment (e.g. an index attribute pack)

@@ -25,6 +25,7 @@ keeping aggregate counters identical to a serial run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -83,7 +84,19 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
     """
     state = _STATE
     assert state is not None, "worker used before initialize()"
+    shard_t0 = time.perf_counter()
     scorer = state.scorer
+
+    def _counters() -> dict:
+        counters = scorer.stats.worker_counters()
+        # Wall-time stamps for the parent's tracer: perf_counter is
+        # CLOCK_MONOTONIC (machine-wide on Linux), so the parent can
+        # re-attach these as shard spans and derive queue wait from its
+        # own submit stamp.  merge_worker_counters only folds the
+        # WORKER_MERGED names, so stats totals are untouched.
+        counters["shard_t0"] = shard_t0
+        counters["shard_t1"] = time.perf_counter()
+        return counters
     if scalars is not None and scalars != (scorer.c, scorer.c_holdout,
                                            scorer.lam):
         scorer.c, scorer.c_holdout, scorer.lam = scalars
@@ -113,7 +126,7 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
                 group_range)
         else:  # pragma: no cover - guarded by the executor's task builder
             raise ValueError(f"unknown shard kind {kind!r}")
-        return partial, scorer.stats.worker_counters()
+        return partial, _counters()
     if kind == "masked":
         values = scorer._score_masked_chunk(items, ignore_holdouts)
     elif kind == "indexed":
@@ -124,4 +137,4 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
         values = scorer._score_conjunction_shard(items, ignore_holdouts)
     else:  # pragma: no cover - guarded by the executor's task builder
         raise ValueError(f"unknown shard kind {kind!r}")
-    return np.asarray(values, dtype=np.float64), scorer.stats.worker_counters()
+    return np.asarray(values, dtype=np.float64), _counters()

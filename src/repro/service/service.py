@@ -52,12 +52,15 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from collections import OrderedDict
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion, ScorpionResult
 from repro.errors import ScorpionError
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import Tracer, current_tracer, span, tracing_enabled
 from repro.parallel.executor import _resolve_timeout
 from repro.query.groupby import GroupByQuery
 from repro.service.keys import problem_key, request_key
@@ -82,6 +85,41 @@ CACHE_STAT_KEYS = frozenset({
     "index_builds", "index_build_seconds",
     "batch_seconds", "batch_throughput",
 })
+
+
+#: Per-request ``scorer_stats`` counters the service publishes into its
+#: metrics registry as monotonic process totals after every request
+#: (``(stats_key, metric_name, help)``).
+_PUBLISHED_COUNTERS = (
+    ("dtcache_partition_hits", "scorpion_dtcache_partition_hits_total",
+     "DT-cache partition reuses across requests"),
+    ("dtcache_partition_misses", "scorpion_dtcache_partition_misses_total",
+     "DT partitionings actually run"),
+    ("dtcache_entry_evictions", "scorpion_dtcache_entry_evictions_total",
+     "DT-cache signature entries evicted"),
+    ("dtcache_c_evictions", "scorpion_dtcache_c_evictions_total",
+     "DT-cache per-c merge results evicted"),
+    ("index_builds", "scorpion_index_builds_total",
+     "Prefix-aggregate index attribute views built"),
+    ("index_build_seconds", "scorpion_index_build_seconds_total",
+     "Seconds spent building index attribute views"),
+    ("masked_predicates", "scorpion_masked_predicates_total",
+     "Predicates scored through the mask-matrix kernel"),
+    ("indexed_predicates", "scorpion_indexed_predicates_total",
+     "Predicates answered by the prefix-aggregate index"),
+    ("cost_routed_mask", "scorpion_cost_routed_mask_total",
+     "Cost-model decisions routed to the mask kernel"),
+    ("cost_routed_prefix", "scorpion_cost_routed_prefix_total",
+     "Cost-model decisions routed to the prefix tier"),
+    ("cost_routed_bucket", "scorpion_cost_routed_bucket_total",
+     "Cost-model decisions routed to the bucket tier"),
+    ("cost_routed_gather", "scorpion_cost_routed_gather_total",
+     "Cost-model decisions routed to the gather tier"),
+    ("cost_routed_conj", "scorpion_cost_routed_conj_total",
+     "Cost-model decisions routed to the conjunction tier"),
+    ("parallel_shards", "scorpion_parallel_shards_total",
+     "Shards dispatched to the worker pool"),
+)
 
 
 def _resolve_cache_bytes(cache_bytes: int | None) -> int:
@@ -131,12 +169,27 @@ class ExplainService:
         Resident-byte capacity for cached problem artifacts (None →
         ``SCORPION_CACHE_BYTES``, else :data:`DEFAULT_CACHE_BYTES`;
         ``0`` keeps nothing resident between calls).
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` this service
+        publishes into (None → the process-wide
+        :data:`~repro.obs.metrics.REGISTRY`).  Pool-level metrics
+        (``scorpion_pool_*``) always land in the global registry, since
+        the pool layer has no service handle.
+    logger:
+        Optional :class:`~repro.obs.logs.JsonLogger`; when set, async
+        deadline expiries are logged as ``deadline_expired`` events.
     **scorpion_kwargs:
         Forwarded to each entry's :class:`~repro.core.scorpion.Scorpion`
-        (``algorithm``, ``workers``, ``top_k``, ...).
+        (``algorithm``, ``workers``, ``top_k``, ``trace``, ...).  When
+        tracing is on (``trace=True`` or ``SCORPION_TRACE=1``) the
+        service activates one tracer per request, so checkout/build
+        spans and the inner explain tree share one trace on
+        ``result.trace``.
     """
 
-    def __init__(self, cache_bytes: int | None = None, **scorpion_kwargs):
+    def __init__(self, cache_bytes: int | None = None,
+                 registry: MetricsRegistry | None = None,
+                 logger=None, **scorpion_kwargs):
         self.cache_bytes = _resolve_cache_bytes(cache_bytes)
         self._scorpion_kwargs = dict(scorpion_kwargs)
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
@@ -146,6 +199,33 @@ class ExplainService:
         self.misses = 0
         self.evictions = 0
         self.cached_bytes = 0
+        trace = scorpion_kwargs.get("trace")
+        self._trace = tracing_enabled() if trace is None else bool(trace)
+        self.logger = logger
+        self.registry = registry if registry is not None else REGISTRY
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "scorpion_requests_total", "Explain requests completed")
+        self._m_errors = reg.counter(
+            "scorpion_request_errors_total", "Explain requests that raised")
+        self._m_latency = reg.histogram(
+            "scorpion_request_seconds",
+            "End-to-end explain request latency (seconds)")
+        self._m_hits = reg.counter(
+            "scorpion_cache_hits_total", "Content-key cache hits")
+        self._m_misses = reg.counter(
+            "scorpion_cache_misses_total", "Content-key cache misses")
+        self._m_evictions = reg.counter(
+            "scorpion_cache_evictions_total",
+            "Cache entries evicted by the byte capacity")
+        self._m_entries = reg.gauge(
+            "scorpion_cache_entries", "Resident cache entries")
+        self._m_bytes = reg.gauge(
+            "scorpion_cache_resident_bytes",
+            "Bytes billed to resident cache entries")
+        self._m_dtcache_entries = reg.gauge(
+            "scorpion_dtcache_entries",
+            "DT-cache entries of the most recently served problem")
 
     # ------------------------------------------------------------------
     # Public API
@@ -170,15 +250,9 @@ class ExplainService:
             # the ScorpionQuery constructor and with_c slider semantics.
             c_eff = float(c)
             ch_eff = None if c_holdout is None else float(c_holdout)
-        entry, hit = self._acquire(problem_key(problem))
-        try:
-            with entry.lock:
-                if entry.scorer is None:
-                    self._build(entry, problem)
-                return self._run(entry, hit, c=c_eff, c_holdout=ch_eff,
-                                 lam=problem.lam if lam is None else float(lam))
-        finally:
-            self._unpin(entry)
+        return self._serve_request(
+            problem_key(problem), lambda: problem, c=c_eff, c_holdout=ch_eff,
+            lam=problem.lam if lam is None else float(lam))
 
     def explain_request(self, table: Table, query: GroupByQuery,
                         outliers: Iterable, holdouts: Iterable = (),
@@ -197,22 +271,72 @@ class ExplainService:
         """
         key = request_key(table, query, outliers, holdouts, error_vectors,
                           attributes, ignore, perturbation)
-        entry, hit = self._acquire(key)
+
+        def make_problem() -> ScorpionQuery:
+            return ScorpionQuery(
+                table, query, outliers, holdouts=holdouts,
+                error_vectors=error_vectors, lam=lam, c=c,
+                c_holdout=c_holdout, attributes=attributes,
+                ignore=ignore, perturbation=perturbation)
+
+        return self._serve_request(
+            key, make_problem, c=float(c),
+            c_holdout=None if c_holdout is None else float(c_holdout),
+            lam=float(lam))
+
+    def _serve_request(self, key: tuple,
+                       make_problem: Callable[[], ScorpionQuery], *,
+                       c: float, c_holdout: float | None,
+                       lam: float) -> ScorpionResult:
+        """Acquire → (build) → run, wrapped in the per-request
+        observability envelope: one tracer per request when tracing is
+        on (checkout/build spans plus the inner explain tree, exported
+        onto ``result.trace``), the latency histogram, and the
+        request/cache metric publications."""
+        started = time.perf_counter()
+        tracer = (Tracer().activate()
+                  if self._trace and current_tracer() is None else None)
+        hit = False
         try:
-            with entry.lock:
-                if entry.scorer is None:
-                    problem = ScorpionQuery(
-                        table, query, outliers, holdouts=holdouts,
-                        error_vectors=error_vectors, lam=lam, c=c,
-                        c_holdout=c_holdout, attributes=attributes,
-                        ignore=ignore, perturbation=perturbation)
-                    self._build(entry, problem)
-                return self._run(entry, hit, c=float(c),
-                                 c_holdout=(None if c_holdout is None
-                                            else float(c_holdout)),
-                                 lam=float(lam))
+            with span("checkout") as csp:
+                entry, hit = self._acquire(key)
+                if csp:
+                    csp.annotate(hit=hit)
+            try:
+                with entry.lock:
+                    if entry.scorer is None:
+                        self._build(entry, make_problem())
+                    result = self._run(entry, hit, c=c, c_holdout=c_holdout,
+                                       lam=lam)
+            finally:
+                self._unpin(entry)
+        except Exception:
+            self._m_errors.inc()
+            raise
         finally:
-            self._unpin(entry)
+            if tracer is not None:
+                tracer.deactivate()
+        if tracer is not None:
+            result.trace = tracer.export()
+        self._observe(result, time.perf_counter() - started)
+        return result
+
+    def _observe(self, result: ScorpionResult, elapsed: float) -> None:
+        """Publish one finished request into the metrics registry."""
+        self._m_requests.inc()
+        self._m_latency.observe(elapsed)
+        with self._lock:
+            entries = len(self._entries)
+            cached = self.cached_bytes
+        self._m_entries.set(entries)
+        self._m_bytes.set(cached)
+        stats = result.scorer_stats
+        for stat_key, metric_name, help_text in _PUBLISHED_COUNTERS:
+            value = stats.get(stat_key, 0)
+            if value:
+                self.registry.counter(metric_name, help_text).inc(value)
+        if "dtcache_entries" in stats:
+            self._m_dtcache_entries.set(stats["dtcache_entries"])
 
     async def explain_async(self, problem: ScorpionQuery, *,
                             c: float | None = None,
@@ -236,22 +360,46 @@ class ExplainService:
                                  c_holdout=c_holdout, lam=lam)
         if deadline is None:
             return await coro
-        return await asyncio.wait_for(coro, deadline)
+        try:
+            return await asyncio.wait_for(coro, deadline)
+        except asyncio.TimeoutError:
+            if self.logger is not None:
+                self.logger.log("deadline_expired", deadline_s=deadline,
+                                c=c, lam=lam)
+            raise
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Current service counters (the same numbers each result
-        carries under ``service_*`` keys)."""
+        carries under ``service_*`` keys), plus the process-level view:
+        completed-request count and error count, the request-latency
+        histogram snapshot, and worker-pool start/failure totals.  The
+        extra keys are registry-backed — ``service_requests`` counts
+        requests that *completed* while ``service_hits + service_misses``
+        counts requests that *started*, so the two only differ by
+        in-flight or failed requests."""
         with self._lock:
-            return {
+            base = {
                 "service_hits": self.hits,
                 "service_misses": self.misses,
                 "service_evictions": self.evictions,
                 "service_entries": len(self._entries),
                 "service_cached_bytes": self.cached_bytes,
             }
+        latency = self._m_latency.snapshot()
+        base["service_requests"] = latency["count"]
+        base["service_request_errors"] = self._m_errors.value
+        base["service_request_seconds"] = latency
+        # Pool metrics are process-wide and always published to the
+        # global registry by the executor layer.
+        for stats_key, metric_name in (
+                ("service_pool_starts", "scorpion_pool_starts_total"),
+                ("service_pool_failures", "scorpion_pool_failures_total")):
+            metric = REGISTRY.get(metric_name)
+            base[stats_key] = int(metric.value) if metric is not None else 0
+        return base
 
     def __len__(self) -> int:
         with self._lock:
@@ -299,7 +447,11 @@ class ExplainService:
                 self.hits += 1
                 hit = True
             entry.pins += 1
-            return entry, hit
+        # Mirror the decision into the registry outside the service lock
+        # (counters carry their own locks) so registry totals always
+        # reconcile with the service_hits / service_misses counters.
+        (self._m_hits if hit else self._m_misses).inc()
+        return entry, hit
 
     def _unpin(self, entry: _CacheEntry) -> None:
         release = False
@@ -364,6 +516,7 @@ class ExplainService:
             entry.dead = True
             self.cached_bytes -= entry.nbytes
             self.evictions += 1
+            self._m_evictions.inc()
             entry.release()
             if self.cached_bytes <= self.cache_bytes:
                 return

@@ -8,6 +8,7 @@ import pytest
 
 from repro.aggregates import Avg, Sum
 from repro.core.influence import InfluenceScorer
+from repro.obs.trace import Tracer
 from repro.core.problem import ScorpionQuery
 from repro.query.groupby import GroupByQuery
 from repro.table import ColumnKind, ColumnSpec, Schema, Table
@@ -76,6 +77,22 @@ def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
 
     np.testing.assert_array_equal(via_mask, scalar)
     np.testing.assert_array_equal(via_index, scalar)
+
+    # Tracing leg: an active span tracer must be bit-for-bit invisible
+    # to the influences (annotations read counters, never touch the
+    # scoring path) while still recording the batch.
+    tracer = Tracer().activate()
+    try:
+        traced_scorer = InfluenceScorer(problem, cache_scores=False,
+                                        **scorer_kwargs, **chunk_kwargs)
+        via_traced = traced_scorer.score_batch(
+            predicates, ignore_holdouts=ignore_holdouts)
+    finally:
+        tracer.deactivate()
+    np.testing.assert_array_equal(via_traced, scalar)
+    if predicates:
+        assert any(s["name"] == "score_batch" for s in tracer.export()), \
+            "traced batch recorded no score_batch span"
 
     stats = indexed.stats
     assert stats.indexed_predicates == (

@@ -157,7 +157,7 @@ class TestServe:
         write_csv(Table.from_rows(schema, rows), path)
         return str(path)
 
-    def _serve(self, csv_path, requests, extra_args=()):
+    def _serve(self, csv_path, requests, extra_args=(), log=None):
         import json
         out = io.StringIO()
         stdin = io.StringIO(
@@ -168,7 +168,7 @@ class TestServe:
             "--query", "SELECT avg(v) FROM t GROUP BY g",
             "--algorithm", "dt",
             "--serve", *extra_args,
-        ], out=out, stdin=stdin)
+        ], out=out, stdin=stdin, log=log)
         return code, [json.loads(line)
                       for line in out.getvalue().splitlines()]
 
@@ -207,3 +207,124 @@ class TestServe:
         # still pinned, so it sees only the *previous* request's
         # eviction.
         assert responses[1]["stats"]["service_evictions"] == 1
+
+    def test_stats_op_reconciles_with_requests(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+            {"outliers": ["a"], "holdouts": ["c"]},
+            {"op": "stats"},
+        ])
+        assert code == 0
+        stats_resp = responses[2]
+        assert stats_resp["ok"] is True
+        assert stats_resp["op"] == "stats"
+        stats = stats_resp["stats"]
+        # The per-service counters see exactly this serve loop's two
+        # explains; the registry-backed keys are process-wide (every
+        # service in the process shares the global registry), so they
+        # reconcile as >= and histogram-count == requests.
+        assert stats["service_hits"] + stats["service_misses"] == 2
+        assert stats["service_requests"] >= 2
+        assert stats["service_request_seconds"]["count"] == \
+            stats["service_requests"]
+        assert all("trace_id" in r for r in responses)
+        assert len({r["trace_id"] for r in responses}) == 3
+
+    def test_metrics_op_returns_prometheus_text(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+            {"op": "metrics"},
+        ])
+        assert code == 0
+        metrics = responses[1]
+        assert metrics["ok"] is True
+        text = metrics["metrics"]
+        assert "# TYPE scorpion_requests_total counter" in text
+        assert "# TYPE scorpion_request_seconds histogram" in text
+        assert 'scorpion_request_seconds_bucket{le="+Inf"}' in text
+
+    def test_malformed_and_unknown_op_codes(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            "{not json",
+            {"op": "frobnicate"},
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ])
+        assert code == 0
+        assert [r["ok"] for r in responses] == [False, False, True]
+        assert responses[0]["code"] == "bad_json"
+        assert responses[1]["code"] == "unknown_op"
+        assert all("trace_id" in r for r in responses)
+
+    def test_structured_log_lines_join_on_trace_id(self, planted_csv):
+        import json
+        log = io.StringIO()
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+            "not json",
+        ], log=log)
+        assert code == 0
+        records = [json.loads(line) for line in log.getvalue().splitlines()]
+        events = [r["event"] for r in records]
+        assert events == ["request_start", "request_finish", "request_error"]
+        start, finish, error = records
+        # Log lines and response lines join on the shared trace_id.
+        assert start["trace_id"] == finish["trace_id"] \
+            == responses[0]["trace_id"]
+        assert error["trace_id"] == responses[1]["trace_id"]
+        assert start["op"] == "explain"
+        assert finish["elapsed_ms"] > 0
+        assert finish["cache_hit"] is False
+        assert error["code"] == "bad_json"
+        assert all("ts" in r for r in records)
+
+    def test_serve_trace_flag_attaches_spans(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ], extra_args=("--trace",))
+        assert code == 0
+        trace = responses[0]["trace"]
+        assert trace
+        names = {sp["name"] for sp in trace}
+        assert "checkout" in names
+        assert "explain" in names
+
+    def test_metrics_file_dump(self, planted_csv, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ], extra_args=("--metrics-file", str(path)))
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE scorpion_requests_total counter" in text
+        assert "scorpion_request_seconds_count" in text
+
+
+class TestProfile:
+    def test_profile_prints_span_tree(self, sensors_csv):
+        code, output = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM,1PM",
+            "--holdouts", "11AM",
+            "--algorithm", "naive",
+            "--profile",
+        ])
+        assert code == 0
+        assert "algorithm: naive" in output
+        # The profile tree: an explain root with indented child phases.
+        assert "\nexplain" in output or output.startswith("explain")
+        assert "  build" in output
+        assert " ms" in output
+
+    def test_one_shot_metrics_file(self, sensors_csv, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, _ = _run([
+            "--csv", sensors_csv,
+            "--query", "SELECT avg(temp) FROM sensors GROUP BY time",
+            "--outliers", "12PM,1PM",
+            "--holdouts", "11AM",
+            "--algorithm", "naive",
+            "--metrics-file", str(path),
+        ])
+        assert code == 0
+        assert "# TYPE" in path.read_text()
