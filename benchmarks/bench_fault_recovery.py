@@ -1,0 +1,194 @@
+"""Self-healing under a crash storm: explains/sec before, during, and
+after ``worker.shard:crash@p0.6~s7`` (the ISSUE 9 resilience
+experiment).
+
+Three measured phases over one resident :class:`ExplainService` with a
+parallel scorer (``workers=2``):
+
+* **before** — healthy pool, warm cache: the baseline explains/sec;
+* **storm** — every worker shard crashes with probability 0.6 (seeded,
+  so the storm is reproducible).  Batches burn their retry budget,
+  restart pools, then the circuit opens and batches degrade to serial —
+  throughput drops but every answer stays bit-for-bit correct;
+* **after** — the schedule is disarmed; the breaker's half-open probe
+  restores parallel scoring.  The time from disarm to a
+  fully-``parallel`` health report is the recovery time.
+
+Every explain in every phase is asserted bit-for-bit equal to a
+fault-free serial reference — the chaos differential oracle at
+benchmark scale.  Results land in ``BENCH_scorer.json`` under
+``fault_recovery``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.aggregates import Sum
+from repro.core.scorpion import Scorpion
+from repro.core.problem import ScorpionQuery
+from repro.eval import format_table
+from repro.faults import clear_faults, install_faults
+from repro.obs.metrics import REGISTRY
+from repro.query.groupby import GroupByQuery
+from repro.service import ExplainService
+from repro.table.schema import ColumnKind, ColumnSpec, Schema
+from repro.table.table import Table
+
+from benchmarks.conftest import SCALE, emit_bench_json, emit_report, run_once
+
+STORM = "worker.shard:crash@p0.6~s7"
+
+N_PER_GROUP = 1200 if SCALE == "paper" else 400
+N_GROUPS = 12
+#: Explains per phase (cycled over the c values below: warm cache hits).
+PHASE_REQUESTS = 12 if SCALE == "paper" else 6
+C_CYCLE = (0.5, 0.3, 0.1)
+
+OUTLIERS = ["g00", "g01"]
+HOLDOUTS = ["g02", "g03"]
+
+
+def _storm_table() -> Table:
+    rng = np.random.default_rng(7)
+    n = N_GROUPS * N_PER_GROUP
+    groups = np.repeat([f"g{i:02d}" for i in range(N_GROUPS)], N_PER_GROUP)
+    a1 = rng.uniform(0, 100, n)
+    a2 = rng.uniform(0, 100, n)
+    state = rng.choice(["CA", "NY", "TX", "WA"], n)
+    value = np.ones(n)
+    hot = (np.isin(groups, OUTLIERS) & (state == "TX")
+           & (a1 >= 40) & (a1 <= 60))
+    value[hot] = 50.0
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("a2", ColumnKind.CONTINUOUS),
+        ColumnSpec("state", ColumnKind.DISCRETE),
+        ColumnSpec("value", ColumnKind.CONTINUOUS),
+    ])
+    return Table.from_columns(schema, {
+        "g": groups, "a1": a1, "a2": a2, "state": state, "value": value,
+    })
+
+
+def _image(result):
+    return [(e.predicate, e.influence, e.n_matched,
+             e.updated_outliers, e.updated_holdouts)
+            for e in result.explanations]
+
+
+def _counter(name: str) -> float:
+    metric = REGISTRY.get(name)
+    return metric.value if metric is not None else 0.0
+
+
+def _phase(service, table, query, reference, n=PHASE_REQUESTS):
+    """Run ``n`` warm explains, asserting each against the serial
+    reference for its ``c``; returns explains/sec."""
+    started = time.perf_counter()
+    for i in range(n):
+        c = C_CYCLE[i % len(C_CYCLE)]
+        result = service.explain_request(table, query, OUTLIERS, HOLDOUTS,
+                                         +1.0, c=c)
+        assert _image(result) == reference[c], \
+            f"explain diverged from the fault-free serial reference (c={c})"
+    return n / (time.perf_counter() - started)
+
+
+def _experiment(monkeypatch_env):
+    # Fast-recovery knobs: these shape the *policy*, not the answers.
+    # They must be set before the service builds its scorer (the
+    # recovery object reads them at construction).
+    for name, value in (("SCORPION_POOL_BACKOFF", "0.01"),
+                        ("SCORPION_POOL_COOLDOWN", "0.2")):
+        monkeypatch_env.setenv(name, value)
+
+    table = _storm_table()
+    query = GroupByQuery("g", Sum(), "value")
+    reference = {}
+    for c in C_CYCLE:
+        problem = ScorpionQuery(table, query, OUTLIERS, HOLDOUTS, +1.0, c=c)
+        reference[c] = _image(Scorpion(algorithm="mc", use_cache=False,
+                                       workers=1).explain(problem))
+
+    counters0 = {name: _counter(name) for name in (
+        "scorpion_pool_retries_total", "scorpion_pool_restarts_total",
+        "scorpion_degraded_batches_total")}
+
+    with ExplainService(algorithm="mc", use_cache=False, workers=2,
+                        batch_chunk=8) as service:
+        # Prime the entry (one miss: problem image + pool startup).
+        primed = service.explain_request(table, query, OUTLIERS, HOLDOUTS,
+                                         +1.0, c=C_CYCLE[0])
+        assert primed.scorer_stats["parallel_shards"] > 0, \
+            "benchmark workload never engaged the worker pool"
+
+        before_rps = _phase(service, table, query, reference)
+
+        # Storm onset: arm the schedule and kill the live workers.
+        # Forked workers snapshot the registry at pool start, so the
+        # healthy pre-storm pool is immune until it dies — every pool
+        # (re)started while the storm is armed forks crash-armed
+        # workers, which is exactly how the storm persists.
+        install_faults(STORM)
+        scorer = next(iter(service._entries.values())).scorer
+        executor = scorer._executor
+        if executor is not None and executor._pool is not None:
+            for process in executor._pool._processes.values():
+                process.kill()
+        try:
+            storm_rps = _phase(service, table, query, reference)
+        finally:
+            clear_faults()
+
+        # Recovery: time from disarm until health reports every pool
+        # parallel again (the breaker's half-open probe must succeed).
+        recover_started = time.perf_counter()
+        while any(p["state"] != "parallel"
+                  for p in service.health()["pools"]):
+            assert time.perf_counter() - recover_started < 60.0, \
+                "pool never recovered to parallel after the storm"
+            time.sleep(0.05)
+            service.explain_request(table, query, OUTLIERS, HOLDOUTS,
+                                    +1.0, c=C_CYCLE[0])
+        recovery_s = time.perf_counter() - recover_started
+
+        after_rps = _phase(service, table, query, reference)
+        assert all(p["state"] == "parallel"
+                   for p in service.health()["pools"])
+
+    deltas = {name: _counter(name) - counters0[name] for name in counters0}
+    return before_rps, storm_rps, after_rps, recovery_s, deltas
+
+
+def test_fault_recovery(benchmark, monkeypatch):
+    before, storm, after, recovery_s, deltas = run_once(
+        benchmark, lambda: _experiment(monkeypatch))
+    emit_report("fault_recovery", format_table(
+        f"Crash storm ({STORM}) — warm explains/sec per phase "
+        "(workers=2; every answer asserted against the serial reference)",
+        ["phase", "explains/sec"],
+        [["before", round(before, 2)],
+         ["storm", round(storm, 2)],
+         ["after", round(after, 2)],
+         ["recovery (s)", round(recovery_s, 3)]]))
+    emit_bench_json("fault_recovery", {
+        "description": "Resident-service explain throughput before/during/"
+                       "after a seeded worker crash storm; recovery_seconds "
+                       "is disarm-to-parallel-health time",
+        "storm": STORM,
+        "requests_per_phase": PHASE_REQUESTS,
+        "before_explains_per_second": round(before, 3),
+        "storm_explains_per_second": round(storm, 3),
+        "after_explains_per_second": round(after, 3),
+        "recovery_seconds": round(recovery_s, 4),
+        "pool_retries": int(deltas["scorpion_pool_retries_total"]),
+        "pool_restarts": int(deltas["scorpion_pool_restarts_total"]),
+        "degraded_batches": int(deltas["scorpion_degraded_batches_total"]),
+    })
+    # The storm must actually have exercised the self-healing machinery.
+    assert deltas["scorpion_pool_retries_total"] >= 1
+    assert deltas["scorpion_degraded_batches_total"] >= 0

@@ -24,14 +24,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import threading
 import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 from repro.core.explore import CExplorer
 from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
-from repro.errors import QueryError, ScorpionError
+from repro.errors import QueryError, ResourceExhausted, ScorpionError
+from repro.faults import fault_point
 from repro.obs.logs import JsonLogger, new_trace_id
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import render_profile
@@ -39,6 +45,11 @@ from repro.query.sql import parse_query
 from repro.service.service import ExplainService
 from repro.table.io import read_csv
 from repro.table.table import Table
+
+#: Concurrent in-flight explain requests --serve accepts before
+#: answering ``overloaded`` (override via ``SCORPION_INFLIGHT_LIMIT``
+#: or ``--inflight-limit``).
+DEFAULT_INFLIGHT_LIMIT = 8
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resident cache capacity in bytes for --serve "
                              "(default: SCORPION_CACHE_BYTES env var or "
                              "512 MiB)")
+    parser.add_argument("--inflight-limit", type=int, default=None,
+                        help="concurrent in-flight explain requests --serve "
+                             "accepts before answering a structured "
+                             "'overloaded' error (default: "
+                             "SCORPION_INFLIGHT_LIMIT env var or 8)")
     parser.add_argument("--trace", action="store_true",
                         help="record a per-explain span tree (also "
                              "SCORPION_TRACE=1); results are bit-for-bit "
@@ -192,51 +208,196 @@ def _explain_op(service: ExplainService, request: dict, args, table: Table,
     return payload
 
 
+def _resolve_inflight(limit: int | None) -> int:
+    if limit is None:
+        raw = os.environ.get("SCORPION_INFLIGHT_LIMIT", "").strip()
+        limit = int(raw) if raw else DEFAULT_INFLIGHT_LIMIT
+    limit = int(limit)
+    if limit < 1:
+        raise ScorpionError(f"inflight limit must be >= 1, got {limit}")
+    return limit
+
+
+def _guarded_explain(service: ExplainService, request: dict, args,
+                     table: Table, query) -> dict:
+    """One explain on a dispatch thread, mapped to a structured payload.
+
+    Never raises: every failure becomes an ``"ok": false`` payload with
+    an error ``code`` (``oom_retry`` for memory exhaustion even after
+    cache shedding, ``bad_request`` for caller mistakes, ``internal``
+    for anything else — injected faults included), so no request can
+    kill the serve loop.  Successful payloads carry a sparse
+    ``"degraded": true`` marker while any pool circuit is holding
+    batches serial.
+    """
+    try:
+        payload = _explain_op(service, request, args, table, query)
+    except (ResourceExhausted, MemoryError) as exc:
+        return {"ok": False, "error": str(exc), "code": "oom_retry"}
+    except (ScorpionError, ValueError, KeyError, TypeError) as exc:
+        return {"ok": False, "error": str(exc), "code": "bad_request"}
+    except Exception as exc:  # noqa: BLE001 - the serve loop must survive
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                "code": "internal"}
+    if service.health()["degraded"]:
+        payload["degraded"] = True
+    return payload
+
+
+class _ShutdownSignal(BaseException):
+    """Raised by the SIGINT/SIGTERM handler to break a blocked
+    ``readline`` — BaseException so no request-level handler can
+    swallow it."""
+
+
 def _serve(args, table: Table, query, out, stdin, log=None) -> int:
     """JSON-lines request loop over a resident :class:`ExplainService`.
 
     Each request object accepts ``outliers`` (required), ``holdouts``,
     ``direction``, ``c``, ``lam``, and ``query`` (SQL overriding the
-    startup query); omitted knobs fall back to the CLI flags.  Two
-    control operations bypass scoring: ``{"op": "stats"}`` answers with
-    :meth:`ExplainService.stats` (cache counters, latency histogram,
-    pool totals) and ``{"op": "metrics"}`` with the Prometheus text
-    dump.  Each response line carries the request's ``trace_id`` — the
-    same ID its structured log lines (on ``log``, default stderr)
-    carry — and a malformed or unknown request yields a structured
-    ``"ok": false`` line with an error ``code`` (``bad_json`` /
-    ``bad_request`` / ``unknown_op``) instead of ending the loop.
+    startup query); omitted knobs fall back to the CLI flags.  Control
+    operations bypass scoring: ``{"op": "stats"}`` answers with
+    :meth:`ExplainService.stats`, ``{"op": "metrics"}`` with the
+    Prometheus text dump, and ``{"op": "health"}`` with
+    :meth:`ExplainService.health` (pool/cache/degradation state).  Each
+    response line carries the request's ``trace_id`` — the same ID its
+    structured log lines (on ``log``, default stderr) carry — and a
+    malformed or unknown request yields a structured ``"ok": false``
+    line with an error ``code`` (``bad_json`` / ``bad_request`` /
+    ``unknown_op``) instead of ending the loop.
+
+    **Concurrency and backpressure.**  Explains run on a dispatch
+    thread pool sized by ``--inflight-limit`` /
+    ``SCORPION_INFLIGHT_LIMIT`` and their responses are written in
+    submission order; control ops drain in-flight explains first, so a
+    ``stats`` line always reflects every request before it.  The one
+    out-of-order response is backpressure itself: a request arriving
+    with the pipeline full is answered immediately with code
+    ``overloaded`` rather than queued unboundedly.
+
+    **Shutdown.**  SIGINT/SIGTERM (and EOF) drain in-flight requests,
+    write their responses, log one ``serve_shutdown`` event with the
+    reason, release the service (pools, shared memory), and exit 0 —
+    a deployed explainer is restartable without losing accepted work.
     """
     logger = JsonLogger(stream=log)
+    inflight_limit = _resolve_inflight(args.inflight_limit)
     service = ExplainService(
         cache_bytes=args.cache_bytes, algorithm=args.algorithm,
         top_k=args.top_k, use_index=not args.no_index,
         batch_chunk=args.batch_chunk, workers=args.workers,
         group_chunk=args.group_chunk, task_timeout=args.task_timeout,
         logger=logger, trace=True if args.trace else None)
-    with service:
-        for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            trace_id = new_trace_id()
-            started = time.perf_counter()
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                payload = {"ok": False, "error": str(exc),
-                           "code": "bad_json", "trace_id": trace_id}
-                logger.log("request_error", trace_id=trace_id,
-                           code="bad_json", error=str(exc))
-                print(json.dumps(payload), file=out, flush=True)
-                continue
-            op = request.get("op", "explain") if isinstance(request, dict) \
-                else "explain"
-            logger.log("request_start", trace_id=trace_id, op=op)
-            try:
+    #: (trace_id, op, perf_counter at read, Future[payload]) per
+    #: in-flight explain, in submission order.
+    pending: deque = deque()
+    shutdown_reason: str | None = None
+    in_read = threading.Event()
+
+    def _handle_signal(signum, frame) -> None:
+        nonlocal shutdown_reason
+        shutdown_reason = signal.Signals(signum).name
+        if in_read.is_set():
+            raise _ShutdownSignal()
+
+    def _emit(payload: dict, trace_id: str, op: str,
+              started: float) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if payload.get("ok"):
+            finish_fields = {"op": op, "elapsed_ms": round(elapsed_ms, 3)}
+            if "cache_hit" in payload:
+                finish_fields["cache_hit"] = payload["cache_hit"]
+            logger.log("request_finish", trace_id=trace_id, **finish_fields)
+        else:
+            logger.log("request_error", trace_id=trace_id,
+                       code=payload.get("code", "bad_request"),
+                       error=payload.get("error"))
+        print(json.dumps(payload), file=out, flush=True)
+        _dump_metrics(args.metrics_file)
+
+    def _flush(block: bool) -> None:
+        """Write completed in-flight responses in submission order
+        (``block`` waits for all of them — the drain barrier)."""
+        while pending:
+            trace_id, op, started, future = pending[0]
+            if not block and not future.done():
+                return
+            payload = future.result()  # _guarded_explain never raises
+            pending.popleft()
+            payload["trace_id"] = trace_id
+            _emit(payload, trace_id, op, started)
+
+    installed: list[tuple] = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            installed.append((sig, signal.signal(sig, _handle_signal)))
+        except ValueError:  # not the main thread (tests, embedding)
+            pass
+    pool = ThreadPoolExecutor(max_workers=inflight_limit,
+                              thread_name_prefix="serve")
+    try:
+        with service:
+            while shutdown_reason is None:
+                try:
+                    in_read.set()
+                    try:
+                        fault_point("serve.read")
+                        line = stdin.readline()
+                    finally:
+                        in_read.clear()
+                except _ShutdownSignal:
+                    break
+                except OSError as exc:
+                    logger.log("read_error", error=str(exc))
+                    shutdown_reason = "read_error"
+                    break
+                if line == "":
+                    shutdown_reason = "eof"
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                trace_id = new_trace_id()
+                started = time.perf_counter()
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    _flush(block=True)
+                    logger.log("request_start", trace_id=trace_id,
+                               op="explain")
+                    _emit({"ok": False, "error": str(exc),
+                           "code": "bad_json", "trace_id": trace_id},
+                          trace_id, "explain", started)
+                    continue
+                op = (request.get("op", "explain")
+                      if isinstance(request, dict) else "explain")
+                logger.log("request_start", trace_id=trace_id, op=op)
+                if isinstance(request, dict) and op == "explain":
+                    _flush(block=False)
+                    if len(pending) >= inflight_limit:
+                        REGISTRY.counter(
+                            "scorpion_overloaded_total",
+                            "Requests rejected by the in-flight "
+                            "limit").inc()
+                        _emit({"ok": False,
+                               "error": f"in-flight limit {inflight_limit} "
+                                        "reached",
+                               "code": "overloaded", "trace_id": trace_id},
+                              trace_id, op, started)
+                        continue
+                    pending.append((trace_id, op, started, pool.submit(
+                        _guarded_explain, service, request, args, table,
+                        query)))
+                    _flush(block=False)
+                    continue
+                # Control ops (and malformed requests) see the service
+                # *after* everything already accepted: drain first.
+                _flush(block=True)
                 if not isinstance(request, dict):
-                    raise QueryError("request must be a JSON object")
-                if op == "stats":
+                    payload = {"ok": False,
+                               "error": "request must be a JSON object",
+                               "code": "bad_request", "trace_id": trace_id}
+                elif op == "stats":
                     payload = {"ok": True, "op": "stats",
                                "trace_id": trace_id,
                                "stats": service.stats()}
@@ -244,29 +405,25 @@ def _serve(args, table: Table, query, out, stdin, log=None) -> int:
                     payload = {"ok": True, "op": "metrics",
                                "trace_id": trace_id,
                                "metrics": REGISTRY.render_prometheus()}
-                elif op == "explain":
-                    payload = _explain_op(service, request, args, table,
-                                          query)
-                    payload["trace_id"] = trace_id
+                elif op == "health":
+                    payload = {"ok": True, "op": "health",
+                               "trace_id": trace_id,
+                               "health": service.health()}
                 else:
                     payload = {"ok": False, "error": f"unknown op {op!r}",
                                "code": "unknown_op", "trace_id": trace_id}
-            except (ScorpionError, ValueError, KeyError, TypeError) as exc:
-                payload = {"ok": False, "error": str(exc),
-                           "code": "bad_request", "trace_id": trace_id}
-            elapsed_ms = (time.perf_counter() - started) * 1e3
-            if payload.get("ok"):
-                finish_fields = {"op": op, "elapsed_ms": round(elapsed_ms, 3)}
-                if "cache_hit" in payload:
-                    finish_fields["cache_hit"] = payload["cache_hit"]
-                logger.log("request_finish", trace_id=trace_id,
-                           **finish_fields)
-            else:
-                logger.log("request_error", trace_id=trace_id,
-                           code=payload.get("code", "bad_request"),
-                           error=payload.get("error"))
-            print(json.dumps(payload), file=out, flush=True)
-            _dump_metrics(args.metrics_file)
+                _emit(payload, trace_id, op, started)
+            # Graceful shutdown: drain accepted work, then release.
+            _flush(block=True)
+            logger.log("serve_shutdown",
+                       reason=shutdown_reason or "signal",
+                       requests=int(REGISTRY.counter(
+                           "scorpion_requests_total",
+                           "Explain requests completed").value))
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+        for sig, previous in installed:
+            signal.signal(sig, previous)
     _dump_metrics(args.metrics_file)
     return 0
 

@@ -124,6 +124,7 @@ from repro.index.cost import CostModel, calibration_count
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import current_tracer, span
 from repro.parallel import resolve_workers
+from repro.parallel.recovery import ParallelRecovery
 from repro.predicates.clause import RangeClause
 from repro.predicates.evaluator import ArrayMaskEvaluator
 from repro.predicates.predicate import Predicate
@@ -401,6 +402,11 @@ class InfluenceScorer:
         self.workers = resolve_workers(workers)
         self._executor = None
         self._parallel_disabled = self.workers <= 1
+        self._recovery = ParallelRecovery() if self.workers > 1 else None
+        #: Pools started over this scorer's lifetime (restart counter
+        #: and the ``SCORPION_POOL_GENERATION`` stamp fault schedules
+        #: key on).
+        self._pool_starts = 0
         self._finalizer: weakref.finalize | None = None
         self._index_attr_specs: dict = {}
         #: Index build totals already folded into ``stats`` — the sync
@@ -951,8 +957,13 @@ class InfluenceScorer:
     @property
     def uses_parallel(self) -> bool:
         """Whether batch shards may be dispatched to worker processes
-        (``workers > 1`` and the pool has not failed)."""
-        return not self._parallel_disabled
+        right now (``workers > 1`` and the recovery circuit is not
+        holding batches serial).  Unlike the pre-ISSUE-9 permanent
+        fallback this can flip back to True: the circuit re-probes
+        parallel after its cooldown."""
+        if self._parallel_disabled:
+            return False
+        return self._recovery is None or self._recovery.allow_parallel()
 
     def prepare_parallel(self) -> bool:
         """Spin the worker pool (and the shared-memory problem image) up
@@ -962,20 +973,49 @@ class InfluenceScorer:
         this once before their scoring rounds so pool spin-up is paid a
         single time per problem rather than showing up as latency on
         the first round.  Returns True when a pool is live, False on a
-        serial scorer or after a startup failure (which warns and
-        permanently falls back to serial, same as a mid-batch failure).
+        serial scorer, an open recovery circuit, or a startup failure
+        (which warns and counts against the restart budget; later
+        batches retry through the normal self-healing path).
         """
         if self._parallel_disabled:
+            return False
+        if self._recovery is not None and not self._recovery.allow_parallel():
             return False
         try:
             self._ensure_executor()
         except Exception as exc:  # noqa: BLE001 - same policy as scoring
+            self.close()
+            REGISTRY.counter(
+                "scorpion_pool_failures_total",
+                "Worker-pool failures (start or batch)").inc()
+            if self._recovery is not None:
+                self._recovery.record_failure()
             warnings.warn(
-                f"parallel scoring unavailable ({exc}); using serial "
-                "scoring for this scorer", RuntimeWarning, stacklevel=2)
-            self._disable_parallel()
+                f"parallel pool unavailable ({exc}); batches will retry "
+                "and fall back to serial as needed",
+                RuntimeWarning, stacklevel=2)
             return False
         return True
+
+    def parallel_health(self) -> dict:
+        """Live pool/degradation state (surfaced by service ``health``).
+
+        ``state`` is ``"serial"`` (structural: ``workers <= 1``),
+        ``"parallel"`` (circuit closed), or ``"degraded"`` (circuit
+        open/half-open: batches run serial until a re-probe succeeds).
+        """
+        if self._parallel_disabled:
+            return {"state": "serial", "workers": self.workers,
+                    "pool_live": False, "pool_starts": self._pool_starts}
+        recovery = self._recovery
+        assert recovery is not None
+        return {
+            "state": "degraded" if recovery.degraded else "parallel",
+            "circuit": recovery.state(),
+            "workers": self.workers,
+            "pool_live": self._executor is not None,
+            "pool_starts": self._pool_starts,
+        }
 
     def _plan_group_tiles(self, n_predicates: int, n_shards: int,
                           ignore_holdouts: bool,
@@ -1029,69 +1069,74 @@ class InfluenceScorer:
         :meth:`_reduce_group_tiles` reassembles into the exact arrays
         the serial kernel computes before the shared influence fold —
         so group sharding is invisible in the results.
+
+        Failure policy (self-healing; see
+        :class:`~repro.parallel.recovery.ParallelRecovery`): a pool
+        failure releases the broken pool, backs off, restarts, and
+        retries the whole batch up to ``SCORPION_SHARD_RETRIES`` times;
+        exhausted retries or an exhausted restart budget degrade *this
+        batch only* to serial (the circuit breaker re-probes parallel
+        after its cooldown).  ``KeyboardInterrupt``/``SystemExit``
+        propagate after the pool and segments are released.
         """
-        try:
-            executor = self._ensure_executor()
-            tasks: list[tuple] = []
-            #: Task provenance aligned with ``tasks``: (tier, chunk
-            #: position, tile position or None).
-            meta: list[tuple[int, int, int | None]] = []
-
-            # Shards carry the live (c, c_holdout, λ) — the pool baked
-            # the spec's values in at startup, but a resident scorer may
-            # have been rebound since (see InfluenceScorer.rebind).
-            scalars = (self.c, self.c_holdout, self.lam)
-
-            def add_tasks(tier: int, position: int, kind: str,
-                          payload: list, specs: tuple) -> None:
-                if group_tiles is None:
-                    tasks.append((kind, payload, ignore_holdouts, specs,
-                                  None, scalars))
-                    meta.append((tier, position, None))
-                    return
-                for ti, bounds in enumerate(group_tiles):
-                    tasks.append((kind, payload, ignore_holdouts, specs,
-                                  bounds, scalars))
-                    meta.append((tier, position, ti))
-
-            for ci, chunk in enumerate(masked_shards):
-                add_tasks(0, ci, "masked", list(chunk), ())
-            for ci, chunk in enumerate(range_shards):
-                attrs = sorted({clause.attribute for _, clause in chunk})
-                specs = tuple(self._index_attribute_spec(executor, attr,
-                                                         "range")
-                              for attr in attrs)
-                add_tasks(1, ci, "indexed",
-                          [clause for _, clause in chunk], specs)
-            for ci, chunk in enumerate(set_shards):
-                attrs = sorted({clause.attribute for _, clause in chunk})
-                specs = tuple(self._index_attribute_spec(executor, attr,
-                                                         "discrete")
-                              for attr in attrs)
-                add_tasks(2, ci, "indexed_set",
-                          [clause for _, clause in chunk], specs)
-            for ci, chunk in enumerate(conj_shards):
-                # Ship the probe side's view; the other side only reads
-                # raw arrays every worker already maps.
-                probe_attrs = sorted({
-                    (("range" if isinstance(plan.probe, RangeClause)
-                      else "discrete"), plan.probe.attribute)
-                    for _, plan in chunk})
-                specs = tuple(self._index_attribute_spec(executor, attr, kind)
-                              for kind, attr in probe_attrs)
-                add_tasks(3, ci, "indexed_conj",
-                          [plan for _, plan in chunk], specs)
-            submit_s = time.perf_counter()
-            results = executor.run(tasks)
-        except Exception as exc:  # noqa: BLE001 - availability over purity:
-            # a broken pool must never break scoring, only slow it down.
-            warnings.warn(
-                f"parallel scoring failed ({exc}); falling back to serial "
-                "scoring for this scorer", RuntimeWarning, stacklevel=3)
-            self._disable_parallel()
+        recovery = self._recovery
+        assert recovery is not None
+        if not recovery.allow_parallel():
+            REGISTRY.counter(
+                "scorpion_degraded_batches_total",
+                "Batches scored serial because the pool circuit "
+                "was open or retries were exhausted").inc()
             return None
-        per_task = []
         tracer = current_tracer()
+        attempts = recovery.retries + 1
+        for attempt in range(attempts):
+            try:
+                executor = self._ensure_executor()
+                # Tasks are rebuilt per attempt: a pool restart gets a
+                # fresh problem image, so index-view segment specs from
+                # the dead pool would dangle.
+                tasks, meta = self._build_shard_tasks(
+                    executor, masked_shards, range_shards, set_shards,
+                    conj_shards, ignore_holdouts, group_tiles)
+                submit_s = time.perf_counter()
+                results = executor.run(tasks)
+            except BaseException as exc:  # noqa: BLE001 - availability
+                # over purity: a broken pool must never break scoring,
+                # only slow it down.  Release pool + segments first so
+                # no path (interrupt included) leaks shared memory.
+                self.close()
+                REGISTRY.counter(
+                    "scorpion_pool_failures_total",
+                    "Worker-pool failures (start or batch)").inc()
+                if not isinstance(exc, Exception):
+                    raise
+                within_budget = recovery.record_failure()
+                if within_budget and attempt + 1 < attempts:
+                    REGISTRY.counter(
+                        "scorpion_pool_retries_total",
+                        "Batch retries after a pool failure "
+                        "(each restarts the pool)").inc()
+                    if tracer is not None:
+                        now = time.perf_counter()
+                        tracer.add_span("pool_retry", now, now, {
+                            "attempt": attempt + 1, "error": repr(exc)})
+                    recovery.backoff(attempt)
+                    continue
+                reason = ("restart budget exhausted — circuit open for "
+                          f"{recovery.cooldown:g}s" if not within_budget
+                          else f"{attempts} attempts failed")
+                warnings.warn(
+                    f"parallel scoring failed ({exc}); {reason}; scoring "
+                    "serial until the pool recovers",
+                    RuntimeWarning, stacklevel=3)
+                REGISTRY.counter(
+                    "scorpion_degraded_batches_total",
+                    "Batches scored serial because the pool circuit "
+                    "was open or retries were exhausted").inc()
+                return None
+            recovery.record_success()
+            break
+        per_task = []
         for task, (shard_values, worker_counters) in zip(tasks, results):
             self.stats.merge_worker_counters(worker_counters)
             per_task.append(shard_values)
@@ -1128,6 +1173,66 @@ class InfluenceScorer:
                 tile_results, group_tiles, ignore_holdouts)
         return values
 
+    def _build_shard_tasks(self, executor, masked_shards: list,
+                           range_shards: list, set_shards: list,
+                           conj_shards: list, ignore_holdouts: bool,
+                           group_tiles: list[tuple[int, int]] | None,
+                           ) -> tuple[list[tuple], list[tuple]]:
+        """Build the executor task list for one batch attempt, exporting
+        any index attribute views the current pool has not seen.
+
+        Returns ``(tasks, meta)`` where ``meta`` aligns task provenance
+        with ``tasks``: (tier, chunk position, tile position or None).
+        """
+        tasks: list[tuple] = []
+        meta: list[tuple[int, int, int | None]] = []
+
+        # Shards carry the live (c, c_holdout, λ) — the pool baked
+        # the spec's values in at startup, but a resident scorer may
+        # have been rebound since (see InfluenceScorer.rebind).
+        scalars = (self.c, self.c_holdout, self.lam)
+
+        def add_tasks(tier: int, position: int, kind: str,
+                      payload: list, specs: tuple) -> None:
+            if group_tiles is None:
+                tasks.append((kind, payload, ignore_holdouts, specs,
+                              None, scalars))
+                meta.append((tier, position, None))
+                return
+            for ti, bounds in enumerate(group_tiles):
+                tasks.append((kind, payload, ignore_holdouts, specs,
+                              bounds, scalars))
+                meta.append((tier, position, ti))
+
+        for ci, chunk in enumerate(masked_shards):
+            add_tasks(0, ci, "masked", list(chunk), ())
+        for ci, chunk in enumerate(range_shards):
+            attrs = sorted({clause.attribute for _, clause in chunk})
+            specs = tuple(self._index_attribute_spec(executor, attr,
+                                                     "range")
+                          for attr in attrs)
+            add_tasks(1, ci, "indexed",
+                      [clause for _, clause in chunk], specs)
+        for ci, chunk in enumerate(set_shards):
+            attrs = sorted({clause.attribute for _, clause in chunk})
+            specs = tuple(self._index_attribute_spec(executor, attr,
+                                                     "discrete")
+                          for attr in attrs)
+            add_tasks(2, ci, "indexed_set",
+                      [clause for _, clause in chunk], specs)
+        for ci, chunk in enumerate(conj_shards):
+            # Ship the probe side's view; the other side only reads
+            # raw arrays every worker already maps.
+            probe_attrs = sorted({
+                (("range" if isinstance(plan.probe, RangeClause)
+                  else "discrete"), plan.probe.attribute)
+                for _, plan in chunk})
+            specs = tuple(self._index_attribute_spec(executor, attr, kind)
+                          for kind, attr in probe_attrs)
+            add_tasks(3, ci, "indexed_conj",
+                      [plan for _, plan in chunk], specs)
+        return tasks, meta
+
     def _reduce_group_tiles(self, tile_results: list,
                             group_tiles: list[tuple[int, int]],
                             ignore_holdouts: bool) -> np.ndarray:
@@ -1157,14 +1262,27 @@ class InfluenceScorer:
 
     def _ensure_executor(self):
         """Lazily build the kernel spec, place the problem's arrays in
-        shared memory, and start the persistent worker pool."""
+        shared memory, and start the persistent worker pool.
+
+        Every start stamps ``SCORPION_POOL_GENERATION`` with this
+        scorer's pool-start ordinal so fault schedules (``~gN``) can
+        target early generations only, and counts restarts (any start
+        after the first) in ``scorpion_pool_restarts_total``.
+        """
         if self._executor is None:
+            from repro.faults.registry import GENERATION_ENV
             from repro.parallel import ShardedScoringExecutor, build_kernel_spec
 
+            os.environ[GENERATION_ENV] = str(self._pool_starts)
             spec, segments = build_kernel_spec(self)
             executor = ShardedScoringExecutor(self.workers,
                                               task_timeout=self.task_timeout)
             executor.start(spec, segments)  # closes segments on failure
+            if self._pool_starts:
+                REGISTRY.counter(
+                    "scorpion_pool_restarts_total",
+                    "Worker-pool restarts after a failure").inc()
+            self._pool_starts += 1
             self._executor = executor
             self._finalizer = weakref.finalize(self, executor.close)
         return self._executor
@@ -1195,21 +1313,12 @@ class InfluenceScorer:
             self._index_attr_specs[(kind, attribute)] = spec
         return spec
 
-    def _disable_parallel(self) -> None:
-        """Permanently route this scorer's batches through the serial
-        path and release the pool + shared memory."""
-        REGISTRY.counter(
-            "scorpion_pool_failures_total",
-            "Worker-pool failures that forced a serial fallback").inc()
-        self._parallel_disabled = True
-        self.close()
-
     def close(self) -> None:
         """Release the worker pool and its shared-memory segments.
 
         No-op for serial scorers; idempotent.  The scorer stays fully
         usable afterwards — a later parallel batch simply restarts the
-        pool (unless parallelism was disabled by a failure).
+        pool.
         """
         executor, self._executor = self._executor, None
         self._index_attr_specs = {}

@@ -58,7 +58,20 @@ class ParallelError(ScorpionError):
     Raised for invalid worker counts and wrapped around worker-pool
     failures (a crashed worker process, a shard that exceeded its
     timeout, or a shard that could not be submitted).  The scorer
-    catches executor failures internally and falls back to serial
-    scoring with a warning, so callers of ``score_batch`` only see this
-    exception for configuration mistakes.
+    absorbs executor failures internally — retrying, restarting the
+    pool, and degrading single batches to serial scoring — so callers
+    of ``score_batch`` only see this exception for configuration
+    mistakes.
+    """
+
+
+class ResourceExhausted(ScorpionError):
+    """The service ran out of a bounded resource and shedding did not
+    help.
+
+    Raised when a problem build hits :class:`MemoryError` even after
+    the cache shed every unpinned entry and the build was retried once
+    (serve mode maps it to the structured ``oom_retry`` error code),
+    and by the serve loop's backpressure path for requests beyond the
+    in-flight limit (structured code ``overloaded``).
     """

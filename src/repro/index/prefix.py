@@ -50,6 +50,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import PredicateError
+from repro.faults import fault_point
 from repro.index.discrete import GroupDiscreteIndex
 from repro.obs.trace import span
 from repro.predicates.clause import Clause, RangeClause, SetClause
@@ -448,6 +449,7 @@ class PrefixAggregateIndex:
                 raise PredicateError(
                     f"no continuous attribute {attribute!r} in index"
                 ) from None
+            fault_point("index.build")
             started = time.perf_counter()
             with span("index_build") as sp:
                 per_group = [
@@ -475,6 +477,7 @@ class PrefixAggregateIndex:
                     f"no discrete attribute {attribute!r} in index"
                 ) from None
             n_codes = len(self._code_tables[attribute])
+            fault_point("index.build")
             started = time.perf_counter()
             with span("index_build") as sp:
                 per_group = [

@@ -38,20 +38,30 @@ from repro.parallel.kernel import (
     export_discrete_index_attribute,
     export_index_attribute,
 )
-from repro.parallel.shm import SegmentSpec, attach_segment, create_segment
+from repro.parallel.recovery import ParallelRecovery
+from repro.parallel.shm import (
+    SegmentSpec,
+    assert_no_segment_leaks,
+    attach_segment,
+    create_segment,
+    live_segments,
+)
 
 __all__ = [
     "DEFAULT_TASK_TIMEOUT",
     "DiscreteIndexAttributeSpec",
     "IndexAttributeSpec",
     "KernelSpec",
+    "ParallelRecovery",
     "SegmentSpec",
     "ShardedScoringExecutor",
+    "assert_no_segment_leaks",
     "attach_segment",
     "build_kernel_spec",
     "build_worker_scorer",
     "create_segment",
     "export_discrete_index_attribute",
     "export_index_attribute",
+    "live_segments",
     "resolve_workers",
 ]

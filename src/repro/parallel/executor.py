@@ -14,9 +14,15 @@ Failure policy: any pool-level failure — a worker crash
 (``BrokenProcessPool``), a shard exceeding ``task_timeout``, a
 submission error — aborts the pool (terminating live workers so a hung
 shard cannot hang the caller) and surfaces as one
-:class:`~repro.errors.ParallelError`.  The scorer catches it, warns,
-and permanently falls back to serial scoring for that instance; results
-are therefore always produced.
+:class:`~repro.errors.ParallelError`.  The scorer's
+:class:`~repro.parallel.recovery.ParallelRecovery` policy decides what
+happens next: bounded retries with a fresh pool, then a degraded
+(serial) batch behind a cooldown circuit breaker that periodically
+re-probes parallel — results are therefore always produced, and a
+healthy machine heals back to parallel.  ``KeyboardInterrupt`` /
+``SystemExit`` are never converted to :class:`ParallelError`: the
+executor still aborts the pool (no hung workers, no leaked segments)
+and re-raises them.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from multiprocessing import shared_memory
 from typing import Sequence
 
 from repro.errors import ParallelError
+from repro.faults import fault_point
 from repro.obs.metrics import REGISTRY
 from repro.parallel import worker as _worker
 from repro.parallel.kernel import KernelSpec
@@ -115,18 +122,23 @@ class ShardedScoringExecutor:
         self._segments.extend(segments)
         if self._pool is not None:
             raise ParallelError("executor already started")
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None)
         try:
+            fault_point("pool.start")
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_worker.initialize,
                 initargs=(spec,),
             )
-        except Exception as exc:
+        except BaseException as exc:
+            # Unlink the just-adopted segments even on interrupt — a
+            # failed start must never leak shared memory.
             self.close()
+            if not isinstance(exc, Exception):
+                raise
             raise ParallelError(f"could not start worker pool: {exc}") from exc
         REGISTRY.counter(
             "scorpion_pool_starts_total",
@@ -148,17 +160,21 @@ class ShardedScoringExecutor:
         try:
             futures = [self._pool.submit(_worker.run_shard, *task)
                        for task in tasks]
-        except Exception as exc:
+        except BaseException as exc:
             self._abort()
+            if not isinstance(exc, Exception):
+                raise  # KeyboardInterrupt/SystemExit: abort, then propagate
             raise ParallelError(f"could not submit shards: {exc}") from exc
         results = []
         try:
             for future in futures:
                 results.append(future.result(timeout=self.task_timeout))
-        except Exception as exc:
+        except BaseException as exc:
             for future in futures:
                 future.cancel()
             self._abort()
+            if not isinstance(exc, Exception):
+                raise  # KeyboardInterrupt/SystemExit: abort, then propagate
             raise ParallelError(f"worker shard failed: {exc!r}") from exc
         return results
 
@@ -184,8 +200,12 @@ class ShardedScoringExecutor:
         """Shut the pool down and unlink every owned segment (idempotent).
         Safe to call on a broken executor; live workers are terminated
         first so shared memory is never unlinked out from under a
-        running shard on platforms where that matters."""
-        self._abort()
-        segments, self._segments = self._segments, []
-        for shm in segments:
-            destroy_segment(shm)
+        running shard on platforms where that matters.  Segments are
+        unlinked in a ``finally``: even if pool shutdown itself raises
+        (or is interrupted), no shared memory is leaked."""
+        try:
+            self._abort()
+        finally:
+            segments, self._segments = self._segments, []
+            for shm in segments:
+                destroy_segment(shm)

@@ -330,6 +330,8 @@ def build_worker_scorer(spec: KernelSpec,
     scorer._executor = None
     scorer._finalizer = None
     scorer._index_attr_specs = {}
+    scorer._recovery = None
+    scorer._pool_starts = 0
     scorer._span_evaluators = {}
     scorer.group_chunk = 0
     scorer.task_timeout = None

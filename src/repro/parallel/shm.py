@@ -16,15 +16,26 @@ corrupt every other worker's view of the problem.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Mapping
 
 import numpy as np
 
+from repro.faults import fault_point
+
 #: Byte alignment of each array inside a segment (cache-line sized, and
 #: a multiple of every numpy itemsize used here).
 ALIGNMENT = 64
+
+#: Names of segments this process has created and not yet destroyed.
+#: Crash-path hygiene is a hard contract (see ISSUE 9's chaos oracle):
+#: every code path that can abandon a pool must still reach
+#: :func:`destroy_segment`, and :func:`assert_no_segment_leaks` lets
+#: tests prove it did.
+_LIVE_SEGMENTS: set[str] = set()
+_LIVE_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -72,6 +83,8 @@ def create_segment(arrays: Mapping[str, np.ndarray],
         layout.append((key, array, offset))
         offset += array.nbytes
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.add(shm.name)
     specs = []
     for key, array, off in layout:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf,
@@ -111,6 +124,7 @@ def attach_segment(spec: SegmentSpec, owner_tracker_pid: int | None = None,
     is an idempotent no-op and unregistering would strip the parent's
     own entry instead.
     """
+    fault_point("shm.attach")
     shm = shared_memory.SharedMemory(name=spec.name)
     if owner_tracker_pid is None or tracker_pid() != owner_tracker_pid:
         try:
@@ -138,3 +152,43 @@ def destroy_segment(shm: shared_memory.SharedMemory) -> None:
         pass
     except Exception:  # pragma: no cover - platform-specific teardown races
         pass
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.discard(shm.name)
+
+
+def live_segments() -> frozenset[str]:
+    """Names of segments this process created and has not destroyed."""
+    with _LIVE_LOCK:
+        return frozenset(_LIVE_SEGMENTS)
+
+
+def assert_no_segment_leaks(context: str = "",
+                            baseline: frozenset[str] = frozenset()) -> None:
+    """Assert every segment created in this process has been destroyed.
+
+    The leak check behind the chaos oracle's "never a leaked shm
+    segment" guarantee — call it after closing scorers/services (crash
+    paths included).  Raises :class:`AssertionError` naming the leaked
+    blocks; as a best-effort courtesy it unlinks them first so one
+    failing test does not poison ``/dev/shm`` for the rest of the run.
+
+    ``baseline`` (a prior :func:`live_segments` snapshot) excludes
+    segments owned by scorers that are legitimately still alive — pass
+    it when other fixtures in the process hold warm pools.
+    """
+    leaked = []
+    for name in live_segments() - baseline:
+        try:
+            stale = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            # Unlinked behind our back (not a resource leak) — just
+            # drop the stale bookkeeping entry.
+            with _LIVE_LOCK:
+                _LIVE_SEGMENTS.discard(name)
+            continue
+        destroy_segment(stale)
+        leaked.append(name)
+    if leaked:
+        detail = f" after {context}" if context else ""
+        raise AssertionError(
+            f"leaked shared-memory segments{detail}: {sorted(leaked)}")

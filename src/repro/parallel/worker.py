@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.parallel.kernel import (
     KernelSpec,
     build_worker_scorer,
@@ -84,6 +85,7 @@ def run_shard(kind: str, items: Sequence, ignore_holdouts: bool,
     """
     state = _STATE
     assert state is not None, "worker used before initialize()"
+    fault_point("worker.shard")
     shard_t0 = time.perf_counter()
     scorer = state.scorer
 

@@ -58,7 +58,8 @@ from typing import Callable, Iterable, Mapping
 
 from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion, ScorpionResult
-from repro.errors import ScorpionError
+from repro.errors import ResourceExhausted, ScorpionError
+from repro.faults import fault_point
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import Tracer, current_tracer, span, tracing_enabled
 from repro.parallel.executor import _resolve_timeout
@@ -305,7 +306,7 @@ class ExplainService:
             try:
                 with entry.lock:
                     if entry.scorer is None:
-                        self._build(entry, make_problem())
+                        self._build_with_shed(entry, make_problem)
                     result = self._run(entry, hit, c=c, c_holdout=c_holdout,
                                        lam=lam)
             finally:
@@ -401,6 +402,43 @@ class ExplainService:
             base[stats_key] = int(metric.value) if metric is not None else 0
         return base
 
+    def health(self) -> dict:
+        """Liveness/degradation summary for the serve ``health`` op.
+
+        ``degraded`` is True while any cached scorer's recovery circuit
+        is holding batches serial; per-scorer detail rides in
+        ``pools``.  Process-wide resilience counters (restarts,
+        degraded batches, OOM retries) come from the global registry —
+        the pool layer publishes there regardless of which registry the
+        service was built with.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            info: dict = {
+                "ok": not self._closed,
+                "cache_entries": len(entries),
+                "cached_bytes": self.cached_bytes,
+                "cache_capacity_bytes": self.cache_bytes,
+                "pinned_entries": sum(1 for e in entries if e.pins > 0),
+            }
+        pools = []
+        for entry in entries:
+            scorer = entry.scorer
+            if scorer is not None:
+                pools.append(scorer.parallel_health())
+        info["pools"] = pools
+        info["degraded"] = any(p["state"] == "degraded" for p in pools)
+        for key_name, metric_name in (
+                ("pool_starts", "scorpion_pool_starts_total"),
+                ("pool_failures", "scorpion_pool_failures_total"),
+                ("pool_restarts", "scorpion_pool_restarts_total"),
+                ("pool_retries", "scorpion_pool_retries_total"),
+                ("degraded_batches", "scorpion_degraded_batches_total"),
+                ("oom_retries", "scorpion_oom_retries_total")):
+            metric = REGISTRY.get(metric_name)
+            info[key_name] = int(metric.value) if metric is not None else 0
+        return info
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -433,6 +471,7 @@ class ExplainService:
         hit/miss decision happens here, atomically under the service
         lock — concurrent same-key requests see one miss and N-1 hits
         regardless of how their builds interleave."""
+        fault_point("service.checkout")
         with self._lock:
             if self._closed:
                 raise ScorpionError("ExplainService is closed")
@@ -468,12 +507,60 @@ class ExplainService:
         """Populate a shell entry (entry lock held): one Scorpion with
         its own bounded DT cache, plus the narrowed problem and scorer
         from the build half of the pipeline."""
+        fault_point("service.build")
         scorpion = Scorpion(**self._scorpion_kwargs)
         narrowed, scorer = scorpion.build_scorer(problem)
         entry.problem = narrowed
         entry.scorpion = scorpion
         entry.scorer = scorer
         self._reaccount(entry)
+
+    def _build_with_shed(self, entry: _CacheEntry,
+                         make_problem: Callable[[], ScorpionQuery]) -> None:
+        """Build, and on :class:`MemoryError` shed every unpinned cache
+        entry and retry once (entry lock held).
+
+        A build is the service's one unbounded allocation (problem
+        image + evaluator arrays scale with the dataset), so memory
+        pressure is met by giving up residency, not by failing the
+        request.  A second :class:`MemoryError` means the problem
+        doesn't fit even in an empty cache: surface it as the
+        structured :class:`~repro.errors.ResourceExhausted` (serve code
+        ``oom_retry``).
+        """
+        try:
+            self._build(entry, make_problem())
+            return
+        except MemoryError:
+            shed = self._shed_bytes(exempt=entry)
+        self.registry.counter(
+            "scorpion_oom_retries_total",
+            "Problem builds retried after MemoryError shed the cache").inc()
+        if self.logger is not None:
+            self.logger.log("oom_shed", shed_bytes=shed)
+        try:
+            self._build(entry, make_problem())
+        except MemoryError as exc:
+            raise ResourceExhausted(
+                f"problem build out of memory even after shedding "
+                f"{shed} cached bytes: {exc}") from exc
+
+    def _shed_bytes(self, exempt: _CacheEntry | None = None) -> int:
+        """Memory-pressure relief: drop every unpinned entry (LRU and
+        hot alike) and return the bytes given back."""
+        with self._lock:
+            shed = 0
+            for key, entry in list(self._entries.items()):
+                if entry is exempt or entry.pins > 0:
+                    continue
+                del self._entries[key]
+                entry.dead = True
+                self.cached_bytes -= entry.nbytes
+                shed += entry.nbytes
+                self.evictions += 1
+                self._m_evictions.inc()
+                entry.release()
+        return shed
 
     def _run(self, entry: _CacheEntry, hit: bool, *, c: float,
              c_holdout: float | None, lam: float) -> ScorpionResult:

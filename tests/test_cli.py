@@ -196,17 +196,23 @@ class TestServe:
         assert all("error" in r for r in responses[:2])
 
     def test_cache_bytes_flag(self, planted_csv):
+        # The stats op between the explains is a drain barrier: without
+        # it the two same-key requests may coalesce in flight (one
+        # build, shared entry) — here we want to observe residency
+        # *between* completed requests.
         code, responses = self._serve(planted_csv, [
             {"outliers": ["a"], "holdouts": ["c"]},
+            {"op": "stats"},
             {"outliers": ["a"], "holdouts": ["c"]},
         ], extra_args=("--cache-bytes", "0"))
         assert code == 0
         # Zero capacity: nothing stays resident between requests.
-        assert [r["cache_hit"] for r in responses] == [False, False]
+        assert [r["cache_hit"] for r in (responses[0], responses[2])] \
+            == [False, False]
         # Each response snapshots the counters while its own entry is
         # still pinned, so it sees only the *previous* request's
         # eviction.
-        assert responses[1]["stats"]["service_evictions"] == 1
+        assert responses[2]["stats"]["service_evictions"] == 1
 
     def test_stats_op_reconciles_with_requests(self, planted_csv):
         code, responses = self._serve(planted_csv, [
@@ -265,8 +271,11 @@ class TestServe:
         assert code == 0
         records = [json.loads(line) for line in log.getvalue().splitlines()]
         events = [r["event"] for r in records]
-        assert events == ["request_start", "request_finish", "request_error"]
-        start, finish, error = records
+        assert events == ["request_start", "request_finish",
+                          "request_start", "request_error",
+                          "serve_shutdown"]
+        start, finish, _error_start, error, shutdown = records
+        assert shutdown["reason"] == "eof"
         # Log lines and response lines join on the shared trace_id.
         assert start["trace_id"] == finish["trace_id"] \
             == responses[0]["trace_id"]
@@ -287,6 +296,136 @@ class TestServe:
         names = {sp["name"] for sp in trace}
         assert "checkout" in names
         assert "explain" in names
+
+    def test_health_op(self, planted_csv):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+            {"op": "health"},
+        ])
+        assert code == 0
+        assert responses[1]["ok"] is True
+        assert responses[1]["op"] == "health"
+        health = responses[1]["health"]
+        assert health["ok"] is True
+        assert health["cache_entries"] == 1
+        assert health["degraded"] is False
+        assert health["pools"] \
+            and health["pools"][0]["state"] in ("serial", "parallel")
+        for key in ("pool_starts", "pool_failures", "pool_restarts",
+                    "pool_retries", "degraded_batches", "oom_retries",
+                    "pinned_entries", "cache_capacity_bytes"):
+            assert key in health, key
+
+    def test_overloaded_code_under_backpressure(self, planted_csv):
+        from repro.faults import fault_injection
+
+        # Hang the first request's build so the second arrives while
+        # the single in-flight slot is occupied.
+        with fault_injection("service.build:hang=0.7@1"):
+            code, responses = self._serve(planted_csv, [
+                {"outliers": ["a"], "holdouts": ["c"]},
+                {"outliers": ["b"], "holdouts": ["d"]},
+            ], extra_args=("--inflight-limit", "1"))
+        assert code == 0
+        codes = [r.get("code") for r in responses]
+        assert "overloaded" in codes
+        overloaded = responses[codes.index("overloaded")]
+        assert overloaded["ok"] is False
+        assert "in-flight limit 1" in overloaded["error"]
+        # The accepted request still drained to a real answer.
+        ok = [r for r in responses if r["ok"]]
+        assert len(ok) == 1 and ok[0]["explanations"]
+
+    def test_oom_retry_code_and_loop_survival(self, planted_csv):
+        from repro.faults import fault_injection
+
+        # Both build attempts (initial + post-shed retry) hit
+        # MemoryError: structured oom_retry, not a crash; the next
+        # request (fault expired) succeeds on the same loop.
+        with fault_injection("service.build:memerror@1..2"):
+            code, responses = self._serve(planted_csv, [
+                {"outliers": ["a"], "holdouts": ["c"]},
+                {"outliers": ["a"], "holdouts": ["c"]},
+            ])
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "oom_retry"
+        assert "out of memory" in responses[0]["error"]
+        assert responses[1]["ok"] is True
+
+    def test_internal_error_code_and_loop_survival(self, planted_csv):
+        from repro.faults import fault_injection
+
+        with fault_injection("service.checkout:oserror@1"):
+            code, responses = self._serve(planted_csv, [
+                {"outliers": ["a"], "holdouts": ["c"]},
+                {"outliers": ["a"], "holdouts": ["c"]},
+            ])
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "internal"
+        assert "OSError" in responses[0]["error"]
+        assert responses[1]["ok"] is True
+
+    def test_read_fault_is_graceful_shutdown(self, planted_csv):
+        import json
+        from repro.faults import fault_injection
+
+        log = io.StringIO()
+        with fault_injection("serve.read:oserror@2"):
+            code, responses = self._serve(planted_csv, [
+                {"outliers": ["a"], "holdouts": ["c"]},
+                {"outliers": ["a"], "holdouts": ["c"]},  # never read
+            ], log=log)
+        assert code == 0
+        # The accepted request drained before shutdown.
+        assert len(responses) == 1 and responses[0]["ok"] is True
+        records = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert [r["event"] for r in records if r["event"] != "request_start"
+                and r["event"] != "request_finish"] == \
+            ["read_error", "serve_shutdown"]
+        assert records[-1]["reason"] == "read_error"
+
+    def test_sigint_drains_inflight_and_shuts_down(self, planted_csv):
+        import json
+        import signal
+        import threading
+        from repro.faults import fault_injection
+
+        log = io.StringIO()
+        timer = threading.Timer(
+            0.3, lambda: signal.raise_signal(signal.SIGINT))
+        timer.start()
+        try:
+            # The second read hangs (a blocked readline, as deployed);
+            # SIGINT must break it, drain request 1, and exit 0.
+            with fault_injection("serve.read:hang=30@2"):
+                code, responses = self._serve(planted_csv, [
+                    {"outliers": ["a"], "holdouts": ["c"]},
+                ], log=log)
+        finally:
+            timer.cancel()
+        assert code == 0
+        assert responses and responses[0]["ok"] is True
+        records = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert records[-1]["event"] == "serve_shutdown"
+        assert records[-1]["reason"] == "SIGINT"
+
+    def test_inflight_limit_validation(self, planted_csv, capsys):
+        code, responses = self._serve(planted_csv, [
+            {"outliers": ["a"], "holdouts": ["c"]},
+        ], extra_args=("--inflight-limit", "0"))
+        assert code == 2
+        assert not responses
+        assert "inflight" in capsys.readouterr().err.lower()
+
+    def test_inflight_limit_env(self, planted_csv, monkeypatch):
+        from repro.cli import _resolve_inflight
+        monkeypatch.setenv("SCORPION_INFLIGHT_LIMIT", "3")
+        assert _resolve_inflight(None) == 3
+        assert _resolve_inflight(5) == 5
+        monkeypatch.delenv("SCORPION_INFLIGHT_LIMIT")
+        assert _resolve_inflight(None) == 8
 
     def test_metrics_file_dump(self, planted_csv, tmp_path):
         path = tmp_path / "metrics.prom"

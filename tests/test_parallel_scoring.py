@@ -20,7 +20,14 @@ from repro.core.influence import InfluenceScorer
 from repro.core.problem import ScorpionQuery
 from repro.core.scorpion import Scorpion
 from repro.errors import ParallelError
-from repro.parallel import ShardedScoringExecutor, resolve_workers
+from repro.obs.metrics import REGISTRY
+from repro.parallel import (
+    ParallelRecovery,
+    ShardedScoringExecutor,
+    assert_no_segment_leaks,
+    live_segments,
+    resolve_workers,
+)
 from repro.parallel.executor import _resolve_timeout
 from repro.predicates.clause import RangeClause, SetClause
 from repro.predicates.predicate import Predicate
@@ -209,45 +216,111 @@ class TestEndToEnd:
             assert parallel.scorer_stats[name] == serial.scorer_stats[name], name
 
 
-class TestFallback:
-    def test_executor_failure_falls_back_to_serial(self, monkeypatch):
+def _counter(name: str) -> float:
+    metric = REGISTRY.get(name)
+    return metric.value if metric is not None else 0.0
+
+
+class TestSelfHealing:
+    """Pool failures retry, restart, and degrade per batch — never
+    permanently (the pre-ISSUE-9 `_disable_parallel` is gone)."""
+
+    def test_worker_crash_retries_and_recovers(self):
         problem = make_problem(Sum())
         batch = mixed_batch()
         expected = InfluenceScorer(problem, cache_scores=False,
                                    workers=1).score_batch(batch)
         scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
                                  batch_chunk=8)
+        scorer._recovery = ParallelRecovery(retries=2, restarts=10,
+                                            backoff_base=0.0)
+        np.testing.assert_array_equal(scorer.score_batch(batch), expected)
+        retries0 = _counter("scorpion_pool_retries_total")
+        restarts0 = _counter("scorpion_pool_restarts_total")
+        pool = scorer._executor._pool
+        for process in list(pool._processes.values()):
+            os.kill(process.pid, signal.SIGKILL)
+        # The crash is absorbed by a transparent pool restart: no
+        # warning, bit-for-bit results, and the batch still ran parallel.
+        shards_before = scorer.stats.parallel_shards
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            got = scorer.score_batch(batch)
+        np.testing.assert_array_equal(got, expected)
+        assert scorer.uses_parallel
+        assert scorer.stats.parallel_shards > shards_before
+        assert _counter("scorpion_pool_retries_total") >= retries0 + 1
+        assert _counter("scorpion_pool_restarts_total") >= restarts0 + 1
+        scorer.close()
+
+    def test_persistent_failure_opens_circuit_then_reprobes(
+            self, monkeypatch):
+        problem = make_problem(Sum())
+        batch = mixed_batch()
+        expected = InfluenceScorer(problem, cache_scores=False,
+                                   workers=1).score_batch(batch)
+        scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
+                                 batch_chunk=8)
+        clock = [0.0]
+        scorer._recovery = ParallelRecovery(
+            retries=1, restarts=2, window=1000.0, cooldown=5.0,
+            backoff_base=0.0, clock=lambda: clock[0],
+            sleep=lambda s: None)
+        real_run = ShardedScoringExecutor.run
         monkeypatch.setattr(
             ShardedScoringExecutor, "run",
             lambda self, tasks: (_ for _ in ()).throw(
                 ParallelError("injected shard failure")))
-        with pytest.warns(RuntimeWarning, match="falling back to serial"):
-            got = scorer.score_batch(batch)
-        np.testing.assert_array_equal(got, expected)
-        assert not scorer.uses_parallel
+        # Batch 1: retry budget (2 attempts) exhausted → serial result.
+        degraded0 = _counter("scorpion_degraded_batches_total")
+        with pytest.warns(RuntimeWarning, match="scoring serial"):
+            np.testing.assert_array_equal(scorer.score_batch(batch),
+                                          expected)
         assert scorer.stats.parallel_shards == 0
-        # Later batches stay serial without further warnings.
-        import warnings as _warnings
-        with _warnings.catch_warnings():
-            _warnings.simplefilter("error")
-            np.testing.assert_array_equal(scorer.score_batch(batch), expected)
+        assert _counter("scorpion_degraded_batches_total") == degraded0 + 1
+        # Batch 2: first failure blows the restart budget → circuit opens.
+        with pytest.warns(RuntimeWarning, match="circuit open"):
+            np.testing.assert_array_equal(scorer.score_batch(batch),
+                                          expected)
+        assert scorer._recovery.degraded
+        assert not scorer.uses_parallel
+        # Batch 3 (inside cooldown): serial, silently, pool untouched.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            np.testing.assert_array_equal(scorer.score_batch(batch),
+                                          expected)
+        assert scorer._executor is None
+        # Cooldown elapses and the executor heals: the half-open probe
+        # succeeds, the circuit closes, and scoring is parallel again.
+        monkeypatch.setattr(ShardedScoringExecutor, "run", real_run)
+        clock[0] += 6.0
+        assert scorer.uses_parallel  # half-open: willing to probe
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            np.testing.assert_array_equal(scorer.score_batch(batch),
+                                          expected)
+        assert not scorer._recovery.degraded
+        assert scorer.stats.parallel_shards > 0
+        assert scorer.parallel_health()["state"] == "parallel"
         scorer.close()
 
-    def test_worker_crash_falls_back_to_serial(self):
+    def test_keyboard_interrupt_propagates_with_clean_teardown(
+            self, monkeypatch):
         problem = make_problem(Sum())
         batch = mixed_batch()
-        expected = InfluenceScorer(problem, cache_scores=False,
-                                   workers=1).score_batch(batch)
+        baseline = live_segments()
         scorer = InfluenceScorer(problem, cache_scores=False, workers=2,
                                  batch_chunk=8)
-        np.testing.assert_array_equal(scorer.score_batch(batch), expected)
-        pool = scorer._executor._pool
-        for process in list(pool._processes.values()):
-            os.kill(process.pid, signal.SIGKILL)
-        with pytest.warns(RuntimeWarning, match="falling back to serial"):
-            got = scorer.score_batch(batch)
-        np.testing.assert_array_equal(got, expected)
-        assert not scorer.uses_parallel
+        monkeypatch.setattr(
+            ShardedScoringExecutor, "run",
+            lambda self, tasks: (_ for _ in ()).throw(KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            scorer.score_batch(batch)
+        # The interrupt was not swallowed into a serial fallback, and
+        # the pool + segments were torn down on the way out.
+        assert scorer._executor is None
+        assert_no_segment_leaks("KeyboardInterrupt during score_batch",
+                                baseline=baseline)
         scorer.close()
 
 

@@ -284,6 +284,131 @@ class TestConcurrency:
         assert result.explanations
 
 
+class TestReleaseRaces:
+    """The refcounted-release contract under adversarial interleavings:
+    an entry is released exactly when its last pin drops, never under a
+    running request — whether it died by ``close()``, by capacity
+    eviction, or while its async caller's deadline had already expired
+    and abandoned it."""
+
+    @staticmethod
+    def _block_first_run(service):
+        """Patch ``service._run`` so only the *first* call blocks on the
+        returned ``resume`` event (later calls run straight through),
+        signalling ``entered`` once it is inside the scorer."""
+        import threading
+        entered, resume = threading.Event(), threading.Event()
+        inner_run = service._run
+        state = {"blocked": False}
+
+        def blocking_run(entry, *args, **kwargs):
+            if not state["blocked"]:
+                state["blocked"] = True
+                entered.set()
+                assert resume.wait(30)
+            return inner_run(entry, *args, **kwargs)
+
+        service._run = blocking_run
+        return entered, resume
+
+    def test_deadline_expiry_abandons_request_then_eviction_defers(self):
+        """An ``explain_async`` deadline fires while the entry is being
+        evicted (service close): the caller is long gone, but the
+        abandoned worker thread still holds a pin, so the dead entry's
+        scorer must survive until that thread's unpin — which then
+        releases it."""
+        import threading
+        problem = make_sum_problem()
+        service = ExplainService(algorithm="mc")
+        entered, resume = self._block_first_run(service)
+
+        async def drive():
+            with pytest.raises(asyncio.TimeoutError):
+                await service.explain_async(problem, deadline=0.05)
+            # Caller abandoned; the worker thread is still pinned inside
+            # _run.  Evict the entry out from under it.
+            assert entered.is_set()
+            entry = next(iter(service._entries.values()))
+            service.close()
+            assert entry.dead and entry.pins == 1
+            assert entry.scorer is not None  # NOT released mid-run
+            resume.set()
+
+        # asyncio.run joins the abandoned to_thread worker when it
+        # shuts the default executor down, so returning at all proves
+        # the abandoned request finished rather than wedging.
+        asyncio.run(drive())
+        assert len(service) == 0
+        assert service.stats()["service_cached_bytes"] == 0
+
+    def test_concurrent_same_key_requests_release_once_after_close(self):
+        """Two pins on one entry, service closed mid-flight: the first
+        unpin must leave the scorer alive for the second request (which
+        must still answer bit-for-bit), and only the second unpin
+        releases."""
+        import threading
+        problem = make_sum_problem()
+        cold = Scorpion(algorithm="mc").explain(problem)
+        service = ExplainService(algorithm="mc")
+        entered, resume = self._block_first_run(service)
+        boxes: list[dict] = [{}, {}]
+        threads = [
+            threading.Thread(
+                target=lambda box=box: box.setdefault(
+                    "r", service.explain(problem)))
+            for box in boxes
+        ]
+        threads[0].start()
+        assert entered.wait(10)
+        entry = next(iter(service._entries.values()))
+        threads[1].start()
+        # Second request: pinned, queued on the entry lock behind the
+        # blocked first request.
+        deadline = time.monotonic() + 10
+        while entry.pins < 2:
+            assert time.monotonic() < deadline, "second pin never arrived"
+            time.sleep(0.01)
+        service.close()
+        assert entry.dead
+        resume.set()
+        for thread in threads:
+            thread.join(30)
+            assert not thread.is_alive()
+        for box in boxes:
+            assert_warm_equals_cold(box["r"], cold)
+        assert entry.pins == 0
+        assert len(service) == 0
+
+    def test_capacity_eviction_skips_pinned_running_entry(self):
+        """A zero-capacity eviction pass triggered by another request's
+        unpin must skip the pinned in-flight entry; the entry is evicted
+        by its own unpin afterwards."""
+        import threading
+        problem = make_sum_problem()
+        other = make_sum_problem(n_per_group=50)
+        service = ExplainService(algorithm="mc", cache_bytes=0)
+        entered, resume = self._block_first_run(service)
+        box: dict = {}
+        worker = threading.Thread(
+            target=lambda: box.setdefault("r", service.explain(problem)))
+        worker.start()
+        assert entered.wait(10)
+        entry = next(iter(service._entries.values()))
+        # This request's unpin runs a full over-capacity eviction pass
+        # while `entry` is pinned and mid-run.
+        assert service.explain(other).explanations
+        assert not entry.dead, "pinned entry evicted under a running request"
+        assert entry.scorer is not None
+        resume.set()
+        worker.join(30)
+        assert not worker.is_alive()
+        assert box["r"].explanations
+        # Its own unpin then enforced the zero-byte capacity.
+        assert len(service) == 0
+        assert service.stats()["service_cached_bytes"] == 0
+        service.close()
+
+
 class TestLifecycle:
     def test_close_with_inflight_request_defers_release(self):
         import threading
