@@ -1,0 +1,160 @@
+"""Numpy vs DuckDB pushdown backend: end-to-end explain throughput.
+
+The execution-backend seam lets state building, index-view
+construction, and SQL evaluation route through an engine instead of
+the in-process numpy kernels.  This bench runs the same planted-SUM
+explain through both backends and records explains/second plus the
+``backend_routed_*`` gauge evidence that the pushdowns actually
+engaged (the planted table is integer-valued, so every pushdown is
+``exactly_summable``-eligible).
+
+The backend contract makes the comparison honest: both runs must
+produce bit-for-bit identical predicates and influences, asserted
+inside the experiment.  When the ``duckdb`` package is not installed
+the DuckDB row is emitted with ``available: false`` and null rates so
+the ledger still records that the comparison was attempted.
+
+Expected shape: at laptop scale the numpy kernels win — the data fits
+in cache and DuckDB pays per-call registration/materialisation
+overhead.  The pushdown's value is the seam itself (states computed
+where the data lives); the ledger tracks the gap rather than asserting
+a direction.
+"""
+
+import time
+
+import numpy as np
+
+from repro.aggregates import Sum
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.eval import format_table
+from repro.query.groupby import GroupByQuery
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+from benchmarks.conftest import emit_bench_json, emit_report, run_once
+
+try:
+    import duckdb  # noqa: F401
+    DUCKDB_AVAILABLE = True
+except ImportError:
+    DUCKDB_AVAILABLE = False
+
+#: Fresh-problem explains timed per backend (fresh Scorpion + problem
+#: each round so the DT cache cannot amortise across iterations).
+N_EXPLAINS = 3
+N_PER_GROUP = 400
+N_GROUPS = 6
+
+
+def _planted_problem(seed: int) -> ScorpionQuery:
+    """A planted-SUM workload with integer-valued tuple states, so the
+    DuckDB pushdowns (group totals, prefix/bucket views) all engage."""
+    rng = np.random.default_rng(seed)
+    n = N_PER_GROUP * N_GROUPS
+    groups = np.repeat([f"g{i}" for i in range(N_GROUPS)], N_PER_GROUP)
+    a1 = rng.uniform(0, 100, n)
+    state = rng.choice(["CA", "NY", "TX", "WA"], n)
+    value = np.ones(n)
+    hot = (np.isin(groups, ["g0", "g1"]) & (state == "TX")
+           & (a1 >= 40) & (a1 <= 60))
+    value[hot] = 50.0
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("a1", ColumnKind.CONTINUOUS),
+        ColumnSpec("state", ColumnKind.DISCRETE),
+        ColumnSpec("value", ColumnKind.CONTINUOUS),
+    ])
+    table = Table.from_columns(schema, {
+        "g": groups, "a1": a1, "state": state, "value": value,
+    })
+    return ScorpionQuery(
+        table=table,
+        query=GroupByQuery("g", Sum(), "value"),
+        outliers=["g0", "g1"],
+        holdouts=[f"g{i}" for i in range(2, N_GROUPS)],
+        error_vectors=+1.0,
+        c=0.5,
+    )
+
+
+def _time_backend(backend_name: str):
+    """Explain N_EXPLAINS fresh problems; return (rate, result, stats)."""
+    elapsed = 0.0
+    last = None
+    for i in range(N_EXPLAINS):
+        problem = _planted_problem(seed=i)
+        scorpion = Scorpion(algorithm="dt", backend=backend_name)
+        started = time.perf_counter()
+        last = scorpion.explain(problem)
+        elapsed += time.perf_counter() - started
+    rate = N_EXPLAINS / elapsed if elapsed > 0 else float("inf")
+    return rate, last, last.scorer_stats
+
+
+def _experiment():
+    rows = []
+    json_rows = []
+    numpy_rate, numpy_result, numpy_stats = _time_backend("numpy")
+    rows.append(["numpy", round(numpy_rate, 2), 0, 0, 0])
+    json_rows.append({
+        "backend": "numpy",
+        "available": True,
+        "explains_per_s": round(numpy_rate, 3),
+        "backend_routed_states": numpy_stats["backend_routed_states"],
+        "backend_routed_views": numpy_stats["backend_routed_views"],
+        "backend_fallbacks": numpy_stats["backend_fallbacks"],
+    })
+
+    if DUCKDB_AVAILABLE:
+        duck_rate, duck_result, duck_stats = _time_backend("duckdb")
+        # The backend contract: pushdown execution is bit-for-bit
+        # invisible in the explanations.
+        assert [str(e.predicate) for e in duck_result.explanations] == \
+            [str(e.predicate) for e in numpy_result.explanations]
+        assert [e.influence for e in duck_result.explanations] == \
+            [e.influence for e in numpy_result.explanations]
+        assert duck_stats["backend_routed_states"] > 0, \
+            "planted integer states should have routed to DuckDB"
+        rows.append(["duckdb", round(duck_rate, 2),
+                     duck_stats["backend_routed_states"],
+                     duck_stats["backend_routed_views"],
+                     duck_stats["backend_fallbacks"]])
+        json_rows.append({
+            "backend": "duckdb",
+            "available": True,
+            "explains_per_s": round(duck_rate, 3),
+            "backend_routed_states": duck_stats["backend_routed_states"],
+            "backend_routed_views": duck_stats["backend_routed_views"],
+            "backend_fallbacks": duck_stats["backend_fallbacks"],
+        })
+    else:
+        rows.append(["duckdb", "(not installed)", "-", "-", "-"])
+        json_rows.append({
+            "backend": "duckdb",
+            "available": False,
+            "explains_per_s": None,
+            "backend_routed_states": None,
+            "backend_routed_views": None,
+            "backend_fallbacks": None,
+        })
+    return rows, json_rows
+
+
+def test_backend_pushdown_throughput(benchmark):
+    rows, json_rows = run_once(benchmark, _experiment)
+    emit_report("backend_pushdown", format_table(
+        f"Explain throughput by execution backend "
+        f"(planted SUM, {N_GROUPS}x{N_PER_GROUP} rows, DT)",
+        ["backend", "explains/s", "routed states", "routed views",
+         "fallbacks"], rows))
+    emit_bench_json("backend_pushdown", {
+        "description": "end-to-end DT explains/second, numpy kernels vs "
+                       "DuckDB pushdown backend on an integer-valued "
+                       "planted-SUM workload (bit-equal results asserted)",
+        "duckdb_available": DUCKDB_AVAILABLE,
+        "n_explains": N_EXPLAINS,
+        "rows_per_explain": N_PER_GROUP * N_GROUPS,
+        "rows": json_rows,
+    })
+    assert rows, "no backend rows produced"

@@ -1,0 +1,73 @@
+"""Execution backends: pluggable engines behind the scorer, index, and
+SQL layers.
+
+``resolve_backend`` is the single entry point every knob goes through
+(constructor argument > ``SCORPION_BACKEND`` environment variable >
+numpy default); see :mod:`repro.backend.base` for the contract each
+backend implements.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.backend.base import BackendStats, ExecutionBackend, \
+    stack_group_states
+from repro.backend.cube import CubeIndex, build_cube_numpy
+from repro.backend.duckdb_backend import DuckDBBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import BackendError, BackendUnavailable
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "SCORPION_BACKEND"
+
+#: Knob spellings accepted for the default engine.
+_NUMPY_NAMES = frozenset({"", "numpy", "auto", "default"})
+
+
+def resolve_backend(backend=None) -> ExecutionBackend:
+    """Turn a backend knob value into a live :class:`ExecutionBackend`.
+
+    Accepts an :class:`ExecutionBackend` instance (passed through
+    untouched), a name (``"numpy"`` / ``"duckdb"``), or ``None`` — which
+    consults :data:`BACKEND_ENV_VAR` and defaults to numpy.  A named
+    engine whose package is not importable degrades to the numpy
+    reference with a warning and a counted fallback rather than failing
+    the explain; unknown names raise :class:`~repro.errors.BackendError`.
+
+    A fresh instance is built per call so each scorer's
+    ``backend_routed_*`` gauges count only its own work.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "")
+    name = str(backend).strip().lower()
+    if name in _NUMPY_NAMES:
+        return NumpyBackend()
+    if name == "duckdb":
+        try:
+            return DuckDBBackend()
+        except BackendUnavailable as exc:
+            warnings.warn(
+                f"backend 'duckdb' unavailable ({exc}); "
+                "falling back to numpy", RuntimeWarning, stacklevel=2)
+            fallback = NumpyBackend()
+            fallback.stats.fallbacks += 1
+            return fallback
+    raise BackendError(
+        f"unknown backend {backend!r}; expected 'numpy' or 'duckdb'")
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BackendStats",
+    "CubeIndex",
+    "DuckDBBackend",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "build_cube_numpy",
+    "resolve_backend",
+    "stack_group_states",
+]

@@ -1,0 +1,177 @@
+"""The :class:`ExecutionBackend` protocol — the seam that makes the
+scorer's state building, the prefix-aggregate index's view
+construction, and the SQL layer's predicate/aggregate evaluation
+engine-agnostic.
+
+A backend is an *execution strategy*, never a semantics change: every
+method's result must be bit-for-bit equal to the numpy reference
+implementation (:class:`~repro.backend.numpy_backend.NumpyBackend`),
+except where a documented tolerance applies (see
+:meth:`ExecutionBackend.execute_query`).  The scorer-facing methods —
+:meth:`group_total_states`, :meth:`build_range_view`,
+:meth:`build_discrete_view` — carry the strict contract with **no**
+tolerance: a pushdown is only taken when the engine can reproduce the
+numpy floats exactly (integer-valued exactly-summable states, whose
+sums are order-independent), and everything else falls back to the
+reference path with a counted fallback.
+
+Counter contract
+----------------
+
+Each backend instance owns a :class:`BackendStats`; the scorer mirrors
+it into ``ScorerStats.backend_routed_*`` as gauge snapshots (set, not
+incremented — the :attr:`ScorerStats.cost_calibrations` precedent), so
+``result.scorer_stats`` shows how much work the engine actually
+answered versus fell back on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BackendStats:
+    """Pushdown counters of one backend instance.
+
+    The numpy reference backend answers everything itself and counts
+    nothing — these measure work *pushed into an engine* (and the
+    eligibility misses that could not be).
+    """
+
+    #: Group total-state reductions answered engine-side (one per group).
+    routed_states: int = 0
+    #: Index views (prefix cumsums / code-bucket sums) built engine-side
+    #: (one per attribute build that pushed down).
+    routed_views: int = 0
+    #: Predicate mask counts / parsed-query executions answered
+    #: engine-side.
+    routed_queries: int = 0
+    #: Cube pre-aggregations built engine-side.
+    routed_cubes: int = 0
+    #: Requests served by the numpy reference path because the pushdown
+    #: was ineligible (non-exact states, unsupported column types) or
+    #: the engine was unavailable.
+    fallbacks: int = 0
+
+
+class ExecutionBackend(abc.ABC):
+    """One execution engine behind the scorer/index/SQL seams.
+
+    Implementations must be deterministic and side-effect-free on their
+    inputs; arrays handed in are read-only views owned by the caller.
+    """
+
+    #: Short knob value identifying the backend (``--backend <name>``).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+
+    # ------------------------------------------------------------------
+    # Scorer seam: per-group aggregate state totals
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def group_total_states(
+        self, group_states: Sequence[np.ndarray | None],
+    ) -> list[np.ndarray | None]:
+        """Column sums of each group's ``(n_i, k)`` per-tuple state
+        matrix — the scorer's ``total_state`` per context.
+
+        ``None`` entries (black-box aggregates carry no states) map to
+        ``None``.  Contract: bit-for-bit equal to
+        ``states.sum(axis=0)`` per group.
+        """
+
+    # ------------------------------------------------------------------
+    # Index seam: per-(group, attribute) sorted views
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_range_view(
+        self, values: np.ndarray, tuple_states: np.ndarray | None,
+        exact: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """One group's sorted view along one continuous attribute.
+
+        Returns ``(order, sorted_values, prefix)`` exactly as
+        :class:`~repro.index.prefix.GroupAttributeIndex` would build
+        them: a stable argsort order, the reordered values, and — only
+        when ``exact`` and states exist — the ``(n + 1, k)`` prefix
+        state matrix (else ``None``, the gather tier).
+        """
+
+    @abc.abstractmethod
+    def build_discrete_view(
+        self, codes: np.ndarray, n_codes: int,
+        tuple_states: np.ndarray | None, exact: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """One group's code-bucket view along one discrete attribute.
+
+        Returns ``(order, offsets, bucket_states)`` exactly as
+        :class:`~repro.index.discrete.GroupDiscreteIndex` would build
+        them; ``bucket_states`` is ``None`` off the exact bucket tier.
+        """
+
+    # ------------------------------------------------------------------
+    # SQL-layer seam: predicates and whole parsed queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mask_count(self, table, conditions: Sequence) -> int:
+        """Rows of ``table`` matching every
+        :class:`~repro.query.sql.Condition` (SQL NULL semantics: a null
+        never matches ``=`` *or* ``!=``).  Equal to
+        ``ParsedQuery.where(table).sum()``.
+        """
+
+    @abc.abstractmethod
+    def execute_query(self, table, parsed) -> dict[tuple, float]:
+        """Execute a :class:`~repro.query.sql.ParsedQuery`, returning
+        ``{group key tuple: aggregate value}``.
+
+        Tolerance contract: for exactly-summable aggregate inputs the
+        results are bit-for-bit equal to the numpy engine.  For general
+        floats an engine may sum in a different order than numpy's
+        pairwise reduction, so recombined aggregates (SUM/AVG and the
+        VARIANCE/STDDEV moment states) agree only to relative tolerance
+        ~1e-12 — the one documented deviation in the backend contract.
+        """
+
+    # ------------------------------------------------------------------
+    # Cube pre-aggregation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_cube(self, table, attributes: Sequence[str],
+                   aggregate_name: str, agg_column: str,
+                   max_cells: int = 65536):
+        """Materialize a :class:`~repro.backend.cube.CubeIndex` over the
+        given low-cardinality discrete attributes (see that module for
+        the exactness gate and the cell query API).
+        """
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def stack_group_states(
+    group_states: Sequence[np.ndarray | None],
+) -> tuple[list[int], np.ndarray | None]:
+    """Concatenate the non-``None``, non-empty state matrices, returning
+    the owning group ids alongside — the shared plumbing pushdown
+    backends use to ship all groups' states in one relation."""
+    ids = [i for i, states in enumerate(group_states)
+           if states is not None and len(states)]
+    if not ids:
+        return ids, None
+    return ids, np.vstack([group_states[i] for i in ids])
+
+
+__all__ = [
+    "BackendStats",
+    "ExecutionBackend",
+    "stack_group_states",
+]

@@ -1,0 +1,214 @@
+"""Cube pre-aggregation over low-cardinality discrete attributes.
+
+A :class:`CubeIndex` materializes, once, the aggregate state components
+of every combination of values of a small set of discrete attributes —
+``GROUP BY a1, a2, ...`` in SQL terms — in the spirit of the
+suppression-tools ``build_cubes_from_db`` pre-aggregations.  Any
+conjunctive set predicate over those attributes is then answered from
+the cube in O(matching cells) instead of an O(n) scan: matched counts,
+total removed states, and recovered aggregate values all come from
+summing pre-aggregated cells.
+
+Exactness gate: cell *counts* are always exact integers.  Cell *states*
+sum exactly (in any order — what makes the engine-side ``GROUP BY``
+build bit-equal to the numpy build) precisely when the underlying
+per-tuple states are exactly summable
+(:func:`repro.index.prefix.exactly_summable`); the
+:attr:`CubeIndex.exact` flag records this, and the DuckDB backend only
+pushes the build down when it holds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.aggregates.registry import get_aggregate
+from repro.backend.sqlgen import STATE_COMPONENT_SQL
+from repro.errors import BackendError
+from repro.index.prefix import exactly_summable
+
+
+class CubeIndex:
+    """Pre-aggregated ``(count, state)`` cells keyed by attribute-value
+    combinations.
+
+    Cells are stored as a dict keyed by the value tuple (attribute
+    order fixed at build time); only combinations present in the data
+    exist — a missing key is an empty cell.
+    """
+
+    def __init__(self, attributes: Sequence[str], aggregate_name: str,
+                 agg_column: str,
+                 cells: Mapping[tuple, tuple[int, np.ndarray]],
+                 exact: bool, source: str):
+        self.attributes = tuple(attributes)
+        self.aggregate_name = aggregate_name
+        self.agg_column = agg_column
+        self._cells = dict(cells)
+        #: Whether cell states are order-independent exact sums (the
+        #: engine-equality precondition).
+        self.exact = bool(exact)
+        #: Which engine built the cells (``"numpy"`` / ``"duckdb"``).
+        self.source = source
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def state_size(self) -> int:
+        for _, state in self._cells.values():
+            return len(state)
+        return len(STATE_COMPONENT_SQL.get(self.aggregate_name, ()))
+
+    def keys(self) -> list[tuple]:
+        """Cell keys in a deterministic (repr-sorted) order."""
+        return sorted(self._cells, key=repr)
+
+    def cell(self, key: tuple) -> tuple[int, np.ndarray]:
+        """``(count, state)`` of one exact combination (zeros if the
+        combination never occurs)."""
+        found = self._cells.get(tuple(key))
+        if found is None:
+            return 0, np.zeros(self.state_size, dtype=np.float64)
+        return found
+
+    # ------------------------------------------------------------------
+    def _matching_keys(self, assignment: Mapping[str, object]) -> list[tuple]:
+        unknown = [a for a in assignment if a not in self.attributes]
+        if unknown:
+            raise BackendError(
+                f"attributes {unknown} are not cube dimensions "
+                f"{self.attributes}")
+        positions = []
+        for attr, wanted in assignment.items():
+            values = (wanted if isinstance(wanted, (list, tuple, set,
+                                                    frozenset))
+                      else [wanted])
+            positions.append((self.attributes.index(attr), set(values)))
+        return [key for key in self.keys()
+                if all(key[pos] in allowed for pos, allowed in positions)]
+
+    def slice_states(self, assignment: Mapping[str, object],
+                     ) -> tuple[int, np.ndarray]:
+        """Matched count and summed state of a conjunctive set predicate
+        ``attr1 IN {...} AND attr2 IN {...}`` over cube dimensions.
+
+        Unconstrained dimensions are summed over.  With :attr:`exact`
+        states the result is bit-equal to a direct masked scan.
+        """
+        count = 0
+        state = np.zeros(self.state_size, dtype=np.float64)
+        for key in self._matching_keys(assignment):
+            cell_count, cell_state = self._cells[key]
+            count += cell_count
+            state = state + cell_state
+        return count, state
+
+    def aggregate_value(self, assignment: Mapping[str, object]) -> float:
+        """The aggregate recovered over the predicate's matched rows
+        (NaN for an empty match, mirroring ``recover_batch``)."""
+        count, state = self.slice_states(assignment)
+        if count == 0:
+            return float("nan")
+        aggregate = get_aggregate(self.aggregate_name)
+        return float(aggregate.recover_batch(state[np.newaxis, :])[0])
+
+    # ------------------------------------------------------------------
+    def same_cells(self, other: "CubeIndex") -> bool:
+        """Bit-for-bit cell equality with another cube (the build
+        oracle's comparison: every key, count, and state float equal)."""
+        if (self.attributes != other.attributes
+                or set(self._cells) != set(other._cells)):
+            return False
+        for key, (count, state) in self._cells.items():
+            other_count, other_state = other._cells[key]
+            if count != other_count or not np.array_equal(state, other_state):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CubeIndex({self.aggregate_name}({self.agg_column}) "
+                f"BY {self.attributes}, cells={self.n_cells}, "
+                f"exact={self.exact}, source={self.source!r})")
+
+
+def _validate_cube_request(table, attributes: Sequence[str],
+                           aggregate_name: str, agg_column: str) -> None:
+    if not attributes:
+        raise BackendError("a cube needs at least one attribute")
+    if aggregate_name not in STATE_COMPONENT_SQL:
+        raise BackendError(
+            f"aggregate {aggregate_name!r} has no state decomposition; "
+            "cubes require a linear-state aggregate")
+    for attr in attributes:
+        if not table.schema[attr].is_discrete:
+            raise BackendError(
+                f"cube attribute {attr!r} must be discrete "
+                "(low-cardinality)")
+    if not table.schema[agg_column].is_continuous:
+        raise BackendError(
+            f"aggregate column {agg_column!r} must be continuous")
+
+
+def build_cube_numpy(table, attributes: Sequence[str], aggregate_name: str,
+                     agg_column: str, max_cells: int = 65536) -> CubeIndex:
+    """Reference cube build: factorize each attribute, scatter-add the
+    state components per composite cell with the same in-row-order
+    ``bincount`` kernel the scorer's batch path uses."""
+    _validate_cube_request(table, attributes, aggregate_name, agg_column)
+    aggregate = get_aggregate(aggregate_name)
+    values = np.asarray(table.values(agg_column), dtype=np.float64)
+    states = aggregate.tuple_states(values)
+
+    codes_per_attr: list[np.ndarray] = []
+    levels_per_attr: list[list] = []
+    cells_bound = 1
+    for attr in attributes:
+        column_values = table.values(attr)
+        code_of: dict = {}
+        codes = np.empty(len(column_values), dtype=np.int64)
+        for i, value in enumerate(column_values):
+            code = code_of.get(value)
+            if code is None:
+                code = len(code_of)
+                code_of[value] = code
+            codes[i] = code
+        codes_per_attr.append(codes)
+        levels_per_attr.append(list(code_of))
+        cells_bound *= max(len(code_of), 1)
+        if cells_bound > max_cells:
+            raise BackendError(
+                f"cube over {tuple(attributes)} would exceed "
+                f"{max_cells} cells; pick lower-cardinality attributes")
+
+    composite = np.zeros(len(table), dtype=np.int64)
+    for codes, levels in zip(codes_per_attr, levels_per_attr):
+        composite = composite * max(len(levels), 1) + codes
+
+    n_cells = cells_bound
+    counts = np.bincount(composite, minlength=n_cells).astype(np.int64)
+    summed = np.zeros((n_cells, states.shape[1]), dtype=np.float64)
+    for j in range(states.shape[1]):
+        summed[:, j] = np.bincount(composite, weights=states[:, j],
+                                   minlength=n_cells)
+
+    cells: dict[tuple, tuple[int, np.ndarray]] = {}
+    for flat in np.nonzero(counts)[0]:
+        remaining = int(flat)
+        key_codes = []
+        for levels in reversed(levels_per_attr):
+            base = max(len(levels), 1)
+            key_codes.append(remaining % base)
+            remaining //= base
+        key = tuple(levels_per_attr[i][code]
+                    for i, code in enumerate(reversed(key_codes)))
+        cells[key] = (int(counts[flat]), summed[flat].copy())
+    return CubeIndex(attributes, aggregate_name, agg_column, cells,
+                     exact=exactly_summable(states), source="numpy")
+
+
+__all__ = ["CubeIndex", "build_cube_numpy"]

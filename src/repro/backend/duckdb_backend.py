@@ -1,0 +1,410 @@
+"""The DuckDB pushdown backend.
+
+Pushes the repetitive, data-parallel parts of Scorpion's build and SQL
+layers into DuckDB SQL over registered views of the underlying numpy
+arrays:
+
+* **per-group aggregate state totals** — one ``GROUP BY gid`` over the
+  stacked state components (``SUM``/``AVG``/``COUNT``/``STDDEV`` states
+  are plain ``sum(s_j)`` columns);
+* **prefix/bucket index pre-aggregations** — the prefix tier's cumsum
+  as a running window sum, the discrete tier's per-bucket sums as a
+  ``GROUP BY code``;
+* **predicate mask counts and whole parsed queries** — the mini-SQL
+  layer's WHERE/GROUP BY evaluated engine-side;
+* **cube pre-aggregations** — ``GROUP BY a1, a2, ...`` state cells.
+
+Exactness gate (the bit-for-bit contract): scorer/index pushdowns are
+taken only when the states are *exactly summable*
+(:func:`repro.index.prefix.exactly_summable`) — integer-valued
+components whose partial sums are exact in any order, so the engine's
+summation order cannot differ from numpy's.  Everything else is
+answered by the embedded :class:`NumpyBackend` reference path and
+counted as a fallback; the only tolerance in the contract is
+:meth:`execute_query` on non-exact float data (see
+:meth:`ExecutionBackend.execute_query`).
+
+``import duckdb`` happens lazily in the constructor; on machines
+without the package :func:`repro.backend.resolve_backend` degrades to
+the numpy backend with a warning.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend import sqlgen
+from repro.backend.base import ExecutionBackend, stack_group_states
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import BackendError, BackendUnavailable
+from repro.index.prefix import exactly_summable
+
+
+class DuckDBBackend(ExecutionBackend):
+    """DuckDB-SQL execution with numpy fallback for ineligible shapes."""
+
+    name = "duckdb"
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import duckdb
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "the duckdb package is not installed; "
+                "install duckdb or use --backend numpy") from exc
+        self._duckdb = duckdb
+        self._con = duckdb.connect()
+        self._reference = NumpyBackend()
+        self._seq = 0
+
+    def close(self) -> None:
+        """Close the embedded DuckDB connection."""
+        self._con.close()
+
+    # ------------------------------------------------------------------
+    # Relation plumbing
+    # ------------------------------------------------------------------
+    def _relation(self, columns: dict[str, object]) -> str:
+        """Materialize named columns as a temporary DuckDB relation.
+
+        Tries the zero-copy replacement-scan registration of a dict of
+        numpy arrays first; falls back to ``CREATE TABLE`` + batched
+        inserts for duckdb builds without that scan.  Callers must pass
+        the name to :meth:`_drop` when done.
+        """
+        self._seq += 1
+        name = f"_scorpion_{self._seq}"
+        arrays = {key: np.asarray(value) if not isinstance(value, list)
+                  else value
+                  for key, value in columns.items()}
+        try:
+            self._con.register(name, arrays)
+            return name
+        except Exception:
+            pass
+        decls = []
+        for key, value in columns.items():
+            if isinstance(value, np.ndarray) and value.dtype.kind == "f":
+                decls.append(f"{sqlgen.quote_identifier(key)} DOUBLE")
+            elif isinstance(value, np.ndarray) and value.dtype.kind == "i":
+                decls.append(f"{sqlgen.quote_identifier(key)} BIGINT")
+            elif value and isinstance(
+                    next((v for v in value if v is not None), ""), int):
+                decls.append(f"{sqlgen.quote_identifier(key)} BIGINT")
+            elif value and isinstance(
+                    next((v for v in value if v is not None), ""), float):
+                decls.append(f"{sqlgen.quote_identifier(key)} DOUBLE")
+            else:
+                decls.append(f"{sqlgen.quote_identifier(key)} VARCHAR")
+        quoted = sqlgen.quote_identifier(name)
+        self._con.execute(f"CREATE TABLE {quoted} ({', '.join(decls)})")
+        rows = list(zip(*(list(value) for value in columns.values())))
+        if rows:
+            holes = ", ".join("?" for _ in columns)
+            self._con.executemany(
+                f"INSERT INTO {quoted} VALUES ({holes})", rows)
+        return name
+
+    def _drop(self, name: str) -> None:
+        quoted = sqlgen.quote_identifier(name)
+        try:
+            self._con.unregister(name)
+        except Exception:
+            pass
+        try:
+            self._con.execute(f"DROP TABLE IF EXISTS {quoted}")
+        except Exception:  # pragma: no cover - defensive cleanup
+            pass
+
+    @staticmethod
+    def _discrete_column_values(column) -> list | None:
+        """A discrete object column as a typed Python list DuckDB can
+        ingest, or ``None`` when the value mix has no single SQL type
+        (mixed int/str columns would change comparison semantics)."""
+        out = []
+        kinds = set()
+        for value in column.values:
+            if value is None or (isinstance(value, float)
+                                 and value != value):
+                out.append(None)
+                continue
+            if isinstance(value, bool):
+                return None
+            if isinstance(value, (int, np.integer)):
+                kinds.add(int)
+                out.append(int(value))
+            elif isinstance(value, (float, np.floating)):
+                kinds.add(float)
+                out.append(float(value))
+            elif isinstance(value, str):
+                kinds.add(str)
+                out.append(value)
+            else:
+                return None
+        if len(kinds) > 1:
+            return None
+        return out
+
+    def _table_relation(self, table, columns: Sequence[str]) -> str:
+        """Register the named columns of a Table, raising
+        :class:`BackendError` for columns SQL cannot faithfully hold."""
+        data: dict[str, object] = {}
+        for attr in dict.fromkeys(columns):
+            column = table.column(attr)
+            if column.spec.is_continuous:
+                values = np.asarray(column.values, dtype=np.float64)
+                if np.isnan(values).any():
+                    # DuckDB orders NaN above every value and makes
+                    # NaN = NaN true — not numpy's comparison
+                    # semantics, so NaN columns are not pushable.
+                    raise BackendError(
+                        f"continuous column {attr!r} holds NaN")
+                data[attr] = values
+            else:
+                listed = self._discrete_column_values(column)
+                if listed is None:
+                    raise BackendError(
+                        f"discrete column {attr!r} mixes SQL types")
+                data[attr] = listed
+        return self._relation(data)
+
+    @staticmethod
+    def _state_columns(k: int) -> list[str]:
+        return [f"s{j}" for j in range(k)]
+
+    # ------------------------------------------------------------------
+    # Scorer seam
+    # ------------------------------------------------------------------
+    def group_total_states(
+        self, group_states: Sequence[np.ndarray | None],
+    ) -> list[np.ndarray | None]:
+        totals: list[np.ndarray | None] = [None] * len(group_states)
+        pushable = []
+        for i, states in enumerate(group_states):
+            if states is None:
+                continue
+            if len(states) and exactly_summable(states):
+                pushable.append(i)
+            else:
+                totals[i] = states.sum(axis=0)
+                if len(states):
+                    self.stats.fallbacks += 1
+        if not pushable:
+            return totals
+        try:
+            wanted = set(pushable)
+            ids, stacked = stack_group_states(
+                [group_states[i] if i in wanted else None
+                 for i in range(len(group_states))])
+            assert stacked is not None
+            k = stacked.shape[1]
+            state_cols = self._state_columns(k)
+            gid = np.repeat(np.asarray(ids, dtype=np.int64),
+                            [len(group_states[i]) for i in ids])
+            columns: dict[str, object] = {"gid": gid}
+            for j, col in enumerate(state_cols):
+                columns[col] = stacked[:, j]
+            relation = self._relation(columns)
+            try:
+                rows = self._con.execute(
+                    sqlgen.group_states_sql(relation, "gid", state_cols),
+                ).fetchall()
+            finally:
+                self._drop(relation)
+            for row in rows:
+                totals[int(row[0])] = np.asarray(row[1:], dtype=np.float64)
+            self.stats.routed_states += len(ids)
+        except Exception:
+            # Graceful degradation is part of the backend contract: an
+            # engine hiccup must never fail the explain, only lose the
+            # pushdown.
+            for i in pushable:
+                totals[i] = group_states[i].sum(axis=0)
+            self.stats.fallbacks += len(pushable)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Index seam
+    # ------------------------------------------------------------------
+    def build_range_view(
+        self, values: np.ndarray, tuple_states: np.ndarray | None,
+        exact: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        # The stable sort itself stays in numpy: argsort tie-breaking
+        # and NaN placement are part of the bit-for-bit contract.  The
+        # O(n·k) prefix aggregation is what pushes down.
+        order = np.argsort(values, kind="stable").astype(np.int64,
+                                                         copy=False)
+        sorted_values = values[order]
+        if not (exact and tuple_states is not None and len(values)):
+            prefix = None
+            if exact and tuple_states is not None:
+                prefix = np.zeros((1, tuple_states.shape[1]),
+                                  dtype=np.float64)
+            return order, sorted_values, prefix
+        k = tuple_states.shape[1]
+        try:
+            sorted_states = tuple_states[order]
+            state_cols = self._state_columns(k)
+            columns: dict[str, object] = {
+                "pos": np.arange(len(values), dtype=np.int64)}
+            for j, col in enumerate(state_cols):
+                columns[col] = sorted_states[:, j]
+            relation = self._relation(columns)
+            try:
+                rows = self._con.execute(sqlgen.prefix_states_sql(
+                    relation, "pos", state_cols)).fetchall()
+            finally:
+                self._drop(relation)
+            prefix = np.zeros((len(values) + 1, k), dtype=np.float64)
+            for row in rows:
+                prefix[int(row[0]) + 1] = row[1:]
+            self.stats.routed_views += 1
+            return order, sorted_values, prefix
+        except Exception:
+            self.stats.fallbacks += 1
+            return self._reference.build_range_view(values, tuple_states,
+                                                    exact)
+
+    def build_discrete_view(
+        self, codes: np.ndarray, n_codes: int,
+        tuple_states: np.ndarray | None, exact: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        order = np.argsort(codes, kind="stable").astype(np.int64,
+                                                        copy=False)
+        sorted_codes = codes[order]
+        offsets = np.searchsorted(
+            sorted_codes, np.arange(n_codes + 1, dtype=np.int64),
+        ).astype(np.int64, copy=False)
+        if not (exact and tuple_states is not None and len(codes)):
+            bucket_states = None
+            if exact and tuple_states is not None:
+                bucket_states = np.zeros((n_codes, tuple_states.shape[1]),
+                                         dtype=np.float64)
+            return order, offsets, bucket_states
+        k = tuple_states.shape[1]
+        try:
+            state_cols = self._state_columns(k)
+            columns: dict[str, object] = {"code": codes.astype(np.int64)}
+            for j, col in enumerate(state_cols):
+                columns[col] = tuple_states[:, j]
+            relation = self._relation(columns)
+            try:
+                rows = self._con.execute(sqlgen.bucket_states_sql(
+                    relation, "code", state_cols)).fetchall()
+            finally:
+                self._drop(relation)
+            bucket_states = np.zeros((n_codes, k), dtype=np.float64)
+            for row in rows:
+                bucket_states[int(row[0])] = row[1:]
+            self.stats.routed_views += 1
+            return order, offsets, bucket_states
+        except Exception:
+            self.stats.fallbacks += 1
+            return self._reference.build_discrete_view(
+                codes, n_codes, tuple_states, exact)
+
+    # ------------------------------------------------------------------
+    # SQL-layer seam
+    # ------------------------------------------------------------------
+    def mask_count(self, table, conditions: Sequence) -> int:
+        columns = [c.column for c in conditions]
+        try:
+            relation = self._table_relation(table, columns or
+                                            [table.schema.names[0]])
+            try:
+                (count,), = self._con.execute(
+                    sqlgen.mask_count_sql(relation, conditions)).fetchall()
+            finally:
+                self._drop(relation)
+        except Exception:
+            self.stats.fallbacks += 1
+            return self._reference.mask_count(table, conditions)
+        self.stats.routed_queries += 1
+        return int(count)
+
+    def execute_query(self, table, parsed) -> dict[tuple, float]:
+        from repro.aggregates.registry import get_aggregate
+
+        if parsed.aggregate_name not in sqlgen.STATE_COMPONENT_SQL:
+            self.stats.fallbacks += 1
+            return self._reference.execute_query(table, parsed)
+        needed = (list(parsed.group_by) + [parsed.agg_column]
+                  + [c.column for c in parsed.conditions])
+        try:
+            relation = self._table_relation(table, needed)
+            try:
+                rows = self._con.execute(sqlgen.grouped_query_sql(
+                    relation, parsed.aggregate_name, parsed.agg_column,
+                    parsed.group_by, parsed.conditions)).fetchall()
+            finally:
+                self._drop(relation)
+        except Exception:
+            self.stats.fallbacks += 1
+            return self._reference.execute_query(table, parsed)
+        n_keys = len(parsed.group_by)
+        aggregate = get_aggregate(parsed.aggregate_name)
+        out: dict[tuple, float] = {}
+        if rows:
+            states = np.asarray([row[n_keys:] for row in rows],
+                                dtype=np.float64)
+            recovered = aggregate.recover_batch(states)
+            for row, value in zip(rows, recovered):
+                out[tuple(row[:n_keys])] = float(value)
+        self.stats.routed_queries += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Cube pre-aggregation
+    # ------------------------------------------------------------------
+    def build_cube(self, table, attributes: Sequence[str],
+                   aggregate_name: str, agg_column: str,
+                   max_cells: int = 65536):
+        from repro.aggregates.registry import get_aggregate
+        from repro.backend.cube import CubeIndex, _validate_cube_request
+
+        _validate_cube_request(table, attributes, aggregate_name,
+                               agg_column)
+        aggregate = get_aggregate(aggregate_name)
+        values = np.asarray(table.values(agg_column), dtype=np.float64)
+        states = aggregate.tuple_states(values)
+        if not exactly_summable(states):
+            # Engine-side GROUP BY sums in engine order; only exact
+            # states keep the cells bit-equal to the numpy build.
+            self.stats.fallbacks += 1
+            return self._reference.build_cube(table, attributes,
+                                              aggregate_name, agg_column,
+                                              max_cells=max_cells)
+        try:
+            relation = self._table_relation(
+                table, list(attributes) + [agg_column])
+            try:
+                rows = self._con.execute(sqlgen.cube_sql(
+                    relation, attributes, aggregate_name,
+                    agg_column)).fetchall()
+            finally:
+                self._drop(relation)
+        except Exception:
+            self.stats.fallbacks += 1
+            return self._reference.build_cube(table, attributes,
+                                              aggregate_name, agg_column,
+                                              max_cells=max_cells)
+        if len(rows) > max_cells:
+            raise BackendError(
+                f"cube over {tuple(attributes)} exceeds {max_cells} cells")
+        n_attrs = len(attributes)
+        cells = {}
+        for row in rows:
+            key = tuple(row[:n_attrs])
+            count = int(row[n_attrs])
+            state = np.asarray(row[n_attrs + 1:], dtype=np.float64)
+            cells[key] = (count, state)
+        self.stats.routed_cubes += 1
+        return CubeIndex(attributes, aggregate_name, agg_column, cells,
+                         exact=True, source="duckdb")
+
+
+__all__ = ["DuckDBBackend"]

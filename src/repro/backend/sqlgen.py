@@ -1,0 +1,184 @@
+"""Pure SQL generation for pushdown backends.
+
+Everything here is string-in, string-out — no engine import, no
+connection — so the exact SQL a pushdown will run is unit-testable on
+machines without ``duckdb`` installed.  The dialect targeted is
+DuckDB's (double-quoted identifiers, single-quoted strings with ``''``
+escaping, ``<>`` for not-equal), which is close enough to standard SQL
+that the statements read as plain SQL-92 aggregates.
+
+Aggregate states map to SQL as *component sums*: the scorer's
+per-tuple state rows (``[v, 1]`` for SUM/AVG, ``[v, v², 1]`` for
+VARIANCE/STDDEV, ``[1]`` for COUNT — see
+:mod:`repro.aggregates.standard`) are exactly the quantities
+``SUM(v)`` / ``SUM(v*v)`` / ``COUNT(*)`` compute, which is what makes
+Scorpion's incremental-removal cache expressible as one grouped SQL
+query.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import BackendError
+
+#: Aggregate name → state-component SQL templates over the aggregate
+#: column placeholder ``{v}``.  Component order matches each
+#: aggregate's ``tuple_states`` column order, so a fetched row *is* a
+#: total state vector.
+STATE_COMPONENT_SQL: Mapping[str, tuple[str, ...]] = {
+    "sum": ("sum({v})", "count(*)"),
+    "avg": ("sum({v})", "count(*)"),
+    "count": ("count(*)",),
+    "variance": ("sum({v})", "sum({v} * {v})", "count(*)"),
+    "stddev": ("sum({v})", "sum({v} * {v})", "count(*)"),
+}
+
+#: numpy condition operators → SQL spelling.
+_OP_SQL = {"=": "=", "!=": "<>", "<>": "<>",
+           "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, doubling embedded quotes."""
+    return '"' + str(name).replace('"', '""') + '"'
+
+
+def quote_literal(value) -> str:
+    """Render a Python literal as a SQL literal.
+
+    Strings single-quote with ``''`` escaping; bools become integers
+    (the mini-dialect has no boolean literals); ``None`` renders as
+    ``NULL``; int stays integral (no float coercion — the point of the
+    parser's integer-preservation fix); float uses ``repr``'s
+    shortest-round-trip decimal, which SQL engines parse back to the
+    identical double.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:
+            raise BackendError("NaN has no SQL literal spelling")
+        if value in (float("inf"), float("-inf")):
+            raise BackendError("infinity has no portable SQL literal")
+        return repr(value)
+    raise BackendError(f"unsupported SQL literal type {type(value).__name__}")
+
+
+def condition_sql(condition) -> str:
+    """One ``column op literal`` condition as SQL.
+
+    SQL's three-valued logic natively gives the NULL semantics the
+    numpy layer now matches: a NULL row satisfies neither ``=`` nor
+    ``<>``, so no ``IS NOT NULL`` guard is needed.
+    """
+    op = _OP_SQL.get(condition.op)
+    if op is None:
+        raise BackendError(f"unsupported SQL operator {condition.op!r}")
+    return (f"{quote_identifier(condition.column)} {op} "
+            f"{quote_literal(condition.literal)}")
+
+
+def where_sql(conditions: Sequence) -> str:
+    """``WHERE c1 AND c2 ...`` (empty string for no conditions)."""
+    if not conditions:
+        return ""
+    return " WHERE " + " AND ".join(condition_sql(c) for c in conditions)
+
+
+def state_component_sql(aggregate_name: str, agg_column: str,
+                        ) -> tuple[str, ...]:
+    """The aggregate's state components as SQL select expressions."""
+    templates = STATE_COMPONENT_SQL.get(aggregate_name)
+    if templates is None:
+        raise BackendError(
+            f"aggregate {aggregate_name!r} has no SQL state decomposition "
+            "(black-box aggregates are not pushable)")
+    v = quote_identifier(agg_column)
+    return tuple(template.format(v=v) for template in templates)
+
+
+def mask_count_sql(relation: str, conditions: Sequence) -> str:
+    """``SELECT count(*)`` over the relation under the conditions."""
+    return (f"SELECT count(*) FROM {quote_identifier(relation)}"
+            f"{where_sql(conditions)}")
+
+
+def group_states_sql(relation: str, group_column: str,
+                     state_columns: Sequence[str]) -> str:
+    """Grouped component sums over pre-materialized state columns —
+    the scorer's per-group ``total_state`` as one query."""
+    sums = ", ".join(f"sum({quote_identifier(c)})" for c in state_columns)
+    gid = quote_identifier(group_column)
+    return (f"SELECT {gid}, {sums} FROM {quote_identifier(relation)} "
+            f"GROUP BY {gid} ORDER BY {gid}")
+
+
+def prefix_states_sql(relation: str, position_column: str,
+                      state_columns: Sequence[str]) -> str:
+    """Running in-order state sums (the prefix tier's cumsum) as one
+    window query ordered by the pre-sorted position column."""
+    pos = quote_identifier(position_column)
+    frame = (f"OVER (ORDER BY {pos} ROWS BETWEEN UNBOUNDED PRECEDING "
+             "AND CURRENT ROW)")
+    sums = ", ".join(f"sum({quote_identifier(c)}) {frame}"
+                     for c in state_columns)
+    return (f"SELECT {pos}, {sums} FROM {quote_identifier(relation)} "
+            f"ORDER BY {pos}")
+
+
+def bucket_states_sql(relation: str, code_column: str,
+                      state_columns: Sequence[str]) -> str:
+    """Per-code-bucket state sums (the discrete bucket tier)."""
+    code = quote_identifier(code_column)
+    sums = ", ".join(f"sum({quote_identifier(c)})" for c in state_columns)
+    return (f"SELECT {code}, {sums} FROM {quote_identifier(relation)} "
+            f"GROUP BY {code} ORDER BY {code}")
+
+
+def grouped_query_sql(relation: str, aggregate_name: str, agg_column: str,
+                      group_by: Sequence[str], conditions: Sequence,
+                      ) -> str:
+    """A whole parsed mini-SQL query as one engine-side statement:
+    group keys plus the aggregate's state components."""
+    keys = ", ".join(quote_identifier(g) for g in group_by)
+    components = ", ".join(state_component_sql(aggregate_name, agg_column))
+    return (f"SELECT {keys}, {components} "
+            f"FROM {quote_identifier(relation)}"
+            f"{where_sql(conditions)} "
+            f"GROUP BY {keys} ORDER BY {keys}")
+
+
+def cube_sql(relation: str, attributes: Sequence[str],
+             aggregate_name: str, agg_column: str,
+             conditions: Sequence = ()) -> str:
+    """Cube pre-aggregation: state components for every combination of
+    the (low-cardinality) attributes' values present in the data."""
+    keys = ", ".join(quote_identifier(a) for a in attributes)
+    components = ", ".join(state_component_sql(aggregate_name, agg_column))
+    return (f"SELECT {keys}, count(*), {components} "
+            f"FROM {quote_identifier(relation)}"
+            f"{where_sql(conditions)} "
+            f"GROUP BY {keys} ORDER BY {keys}")
+
+
+__all__ = [
+    "STATE_COMPONENT_SQL",
+    "bucket_states_sql",
+    "condition_sql",
+    "cube_sql",
+    "group_states_sql",
+    "grouped_query_sql",
+    "mask_count_sql",
+    "prefix_states_sql",
+    "quote_identifier",
+    "quote_literal",
+    "state_component_sql",
+    "where_sql",
+]

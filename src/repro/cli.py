@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "scoring (default: SCORPION_GROUP_CHUNK env "
                              "var or cost-model auto; 0 disables group "
                              "tiling; results are unaffected)")
+    parser.add_argument("--backend", choices=["numpy", "duckdb"],
+                        default=None,
+                        help="execution backend for state building and "
+                             "index views (default: SCORPION_BACKEND env "
+                             "var or numpy; duckdb pushes aggregations "
+                             "into an embedded engine, falling back to "
+                             "numpy with a warning when the package is "
+                             "missing; results are bit-for-bit identical)")
     parser.add_argument("--task-timeout", type=float, default=None,
                         help="per-shard worker deadline in seconds "
                              "(default: SCORPION_TASK_TIMEOUT env var or "
@@ -287,6 +295,7 @@ def _serve(args, table: Table, query, out, stdin, log=None) -> int:
         top_k=args.top_k, use_index=not args.no_index,
         batch_chunk=args.batch_chunk, workers=args.workers,
         group_chunk=args.group_chunk, task_timeout=args.task_timeout,
+        backend=args.backend,
         logger=logger, trace=True if args.trace else None)
     #: (trace_id, op, perf_counter at read, Future[payload]) per
     #: in-flight explain, in submission order.
@@ -462,7 +471,8 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout,
                             group_chunk=args.group_chunk,
                             task_timeout=args.task_timeout,
                             trace=(True if args.trace or args.profile
-                                   else None))
+                                   else None),
+                            backend=args.backend)
         if args.explore_c:
             exploration = CExplorer(scorpion).explore(problem)
             print(exploration.to_string(), file=out)

@@ -117,6 +117,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.aggregates.base import AggregateFunction
+from repro.backend import resolve_backend
 from repro.core.problem import ScorpionQuery
 from repro.errors import AggregateError, PredicateError
 from repro.index import IndexPlanner, PrefixAggregateIndex
@@ -256,6 +257,15 @@ class ScorerStats:
     #: ``SCORPION_COST_CALIBRATE=off``, 1 after the first calibrated
     #: routing decision, never more within one process.
     cost_calibrations: int = 0
+    #: Execution-backend pushdown gauges — snapshots of the scorer's
+    #: backend :class:`~repro.backend.base.BackendStats` (set, not
+    #: incremented, like :attr:`cost_calibrations`).  All zero on the
+    #: numpy reference backend; with a pushdown backend they show how
+    #: many group state totals / index views the engine answered and
+    #: how often eligibility fell back to the reference path.
+    backend_routed_states: int = 0
+    backend_routed_views: int = 0
+    backend_fallbacks: int = 0
 
     #: Counters incremented *inside* the batch kernels and therefore on
     #: worker processes when scoring runs parallel; :meth:`worker_counters`
@@ -360,6 +370,14 @@ class InfluenceScorer:
         executor (``None`` → the ``SCORPION_TASK_TIMEOUT`` /
         legacy ``SCORPION_WORKER_TIMEOUT`` environment variables, else
         the executor default; ``<= 0`` waits forever).
+    backend:
+        Execution backend for state building and index views — a
+        :class:`~repro.backend.base.ExecutionBackend` instance, a name
+        (``"numpy"`` / ``"duckdb"``), or ``None`` (default) to consult
+        the ``SCORPION_BACKEND`` environment variable.  Backends are an
+        execution strategy, never a semantics change: results are
+        bit-for-bit identical at any setting, and a named engine whose
+        package is missing degrades to numpy with a warning.
     """
 
     def __init__(self, query: ScorpionQuery, use_incremental: bool = True,
@@ -368,7 +386,8 @@ class InfluenceScorer:
                  workers: int | None = None,
                  cost_model: "CostModel | None" = None,
                  group_chunk: int | None = None,
-                 task_timeout: float | None = None):
+                 task_timeout: float | None = None,
+                 backend=None):
         self.query = query
         self.aggregate: AggregateFunction = query.aggregate
         self.lam = query.lam
@@ -377,6 +396,7 @@ class InfluenceScorer:
         self.perturbation = query.perturbation
         self.table = query.table
         self.stats = ScorerStats()
+        self._backend = resolve_backend(backend)
         self._incremental = bool(
             use_incremental and self.aggregate.is_incrementally_removable
         )
@@ -428,6 +448,13 @@ class InfluenceScorer:
         for result in query.holdout_results:
             self.holdout_contexts.append(self._build_context(
                 result, agg_values, 1.0, is_outlier=False))
+        if self._incremental:
+            # All groups' total states in one backend call — the seam a
+            # pushdown engine answers with a single GROUP BY.
+            totals = self._backend.group_total_states(
+                [ctx.tuple_states for ctx in self.contexts])
+            for context, total in zip(self.contexts, totals):
+                context.total_state = total
         # Influence only depends on labeled rows, so predicates are
         # evaluated against this much smaller concatenated slice of D.
         self._labeled_slices: list[tuple[GroupContext, int, int]] = []
@@ -470,6 +497,7 @@ class InfluenceScorer:
                                for attr in evaluator.discrete_attributes},
                 code_tables={attr: evaluator.code_table(attr)
                              for attr in evaluator.discrete_attributes},
+                backend=self._backend,
             )
         self._planner = IndexPlanner(self._index, cost_model)
         #: Memoized column-span evaluators for masked group tiles
@@ -477,6 +505,7 @@ class InfluenceScorer:
         #: evaluator's arrays, so tile masks are bit-identical slices
         #: of the full mask matrix.
         self._span_evaluators: dict[tuple[int, int], ArrayMaskEvaluator] = {}
+        self._sync_backend_stats()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -494,7 +523,8 @@ class InfluenceScorer:
         )
         if self._incremental:
             context.tuple_states = self.aggregate.tuple_states(group_values)
-            context.total_state = context.tuple_states.sum(axis=0)
+            # total_state is filled in afterwards by one batched
+            # backend.group_total_states call over every context.
             if self.perturbation == "mean":
                 mean = float(np.mean(group_values))
                 context.mean_state = self.aggregate.tuple_states(
@@ -721,6 +751,15 @@ class InfluenceScorer:
         self._index_builds_seen = builds
         self._index_seconds_seen = seconds
 
+    def _sync_backend_stats(self) -> None:
+        """Mirror the backend's pushdown counters into ``stats`` as
+        gauge snapshots (the :attr:`ScorerStats.cost_calibrations`
+        precedent: set, not incremented, so re-syncing is idempotent)."""
+        backend_stats = self._backend.stats
+        self.stats.backend_routed_states = backend_stats.routed_states
+        self.stats.backend_routed_views = backend_stats.routed_views
+        self.stats.backend_fallbacks = backend_stats.fallbacks
+
     def reset_stats(self) -> None:
         """Start a fresh :class:`ScorerStats` counting window.
 
@@ -876,6 +915,7 @@ class InfluenceScorer:
         self.stats.cost_routed_gather += route.cost_routed_gather
         self.stats.cost_routed_conj += route.cost_routed_conj
         self.stats.cost_calibrations = calibration_count()
+        self._sync_backend_stats()
         if self._index is not None:
             # Conjunction planning may have built probe-side views.
             self._sync_index_stats()

@@ -145,6 +145,15 @@ class Scorpion:
         off).  Tracing never changes results — the differential oracle
         runs a traced leg, and ``bench_obs_overhead.py`` pins the
         overhead.
+    backend:
+        Execution backend for the Scorer's state building and index
+        views: ``"numpy"`` (default), ``"duckdb"`` (pushdown into an
+        embedded DuckDB engine), or an
+        :class:`~repro.backend.base.ExecutionBackend` instance.  None
+        consults the ``SCORPION_BACKEND`` environment variable.
+        Backends never change results (bit-for-bit; see
+        :mod:`repro.backend`), and a missing engine package degrades to
+        numpy with a warning.
     """
 
     def __init__(self, algorithm: str = "auto", partitioner=None,
@@ -156,7 +165,8 @@ class Scorpion:
                  workers: int | None = None,
                  group_chunk: int | None = None,
                  task_timeout: float | None = None,
-                 trace: bool | None = None):
+                 trace: bool | None = None,
+                 backend=None):
         if algorithm not in ("auto", "dt", "mc", "naive"):
             raise PartitionerError(f"unknown algorithm {algorithm!r}")
         if top_k < 1:
@@ -174,6 +184,7 @@ class Scorpion:
         self.group_chunk = group_chunk
         self.task_timeout = task_timeout
         self.trace = tracing_enabled() if trace is None else bool(trace)
+        self.backend = backend
         self.cache = DTCache()
 
     # ------------------------------------------------------------------
@@ -195,7 +206,8 @@ class Scorpion:
                                      batch_chunk=self.batch_chunk,
                                      workers=self.workers,
                                      group_chunk=self.group_chunk,
-                                     task_timeout=self.task_timeout)
+                                     task_timeout=self.task_timeout,
+                                     backend=self.backend)
             if sp:
                 sp.annotate(groups=len(scorer.contexts),
                             attributes=len(query.attributes))

@@ -256,13 +256,21 @@ class PrefixAggregateIndex:
         evaluator's factorization tables), required for every attribute
         in ``codes_by_attr`` — set-clause values are translated through
         it exactly like :meth:`ArrayMaskEvaluator.clause_mask` does.
+    backend:
+        Optional :class:`~repro.backend.base.ExecutionBackend` that
+        builds the per-group sorted views (the prefix cumsums and
+        code-bucket sums).  ``None`` keeps the original in-place numpy
+        construction; a backend must return bit-identical arrays (the
+        views are adopted via ``from_arrays``), so routing is invisible
+        to every query tier.
     """
 
     def __init__(self, values_by_attr: Mapping[str, np.ndarray],
                  group_slices: Sequence[tuple[int, int]],
                  group_states: Sequence[np.ndarray],
                  codes_by_attr: Mapping[str, np.ndarray] | None = None,
-                 code_tables: Mapping[str, dict] | None = None):
+                 code_tables: Mapping[str, dict] | None = None,
+                 backend=None):
         if len(group_slices) != len(group_states):
             raise PredicateError(
                 f"{len(group_slices)} group slices vs {len(group_states)} "
@@ -283,6 +291,7 @@ class PrefixAggregateIndex:
                     f"group slice [{start}, {stop}) does not match its "
                     "state matrix")
         self._exact = [exactly_summable(states) for states in self._states]
+        self._backend = backend
         self._by_attr: dict[str, list[GroupAttributeIndex]] = {}
         self._by_discrete: dict[str, list[GroupDiscreteIndex]] = {}
         #: Number of attributes indexed so far / seconds spent sorting
@@ -452,11 +461,20 @@ class PrefixAggregateIndex:
             fault_point("index.build")
             started = time.perf_counter()
             with span("index_build") as sp:
-                per_group = [
-                    GroupAttributeIndex(values[start:stop], states, exact)
-                    for (start, stop), states, exact
-                    in zip(self._slices, self._states, self._exact)
-                ]
+                if self._backend is None:
+                    per_group = [
+                        GroupAttributeIndex(values[start:stop], states, exact)
+                        for (start, stop), states, exact
+                        in zip(self._slices, self._states, self._exact)
+                    ]
+                else:
+                    per_group = [
+                        GroupAttributeIndex.from_arrays(
+                            *self._backend.build_range_view(
+                                values[start:stop], states, exact))
+                        for (start, stop), states, exact
+                        in zip(self._slices, self._states, self._exact)
+                    ]
                 if sp:
                     sp.annotate(attribute=attribute, kind="range",
                                 groups=len(per_group))
@@ -480,12 +498,21 @@ class PrefixAggregateIndex:
             fault_point("index.build")
             started = time.perf_counter()
             with span("index_build") as sp:
-                per_group = [
-                    GroupDiscreteIndex(codes[start:stop], n_codes, states,
-                                       exact)
-                    for (start, stop), states, exact
-                    in zip(self._slices, self._states, self._exact)
-                ]
+                if self._backend is None:
+                    per_group = [
+                        GroupDiscreteIndex(codes[start:stop], n_codes, states,
+                                           exact)
+                        for (start, stop), states, exact
+                        in zip(self._slices, self._states, self._exact)
+                    ]
+                else:
+                    per_group = [
+                        GroupDiscreteIndex.from_arrays(
+                            *self._backend.build_discrete_view(
+                                codes[start:stop], n_codes, states, exact))
+                        for (start, stop), states, exact
+                        in zip(self._slices, self._states, self._exact)
+                    ]
                 if sp:
                     sp.annotate(attribute=attribute, kind="discrete",
                                 groups=len(per_group))

@@ -251,6 +251,7 @@ def build_worker_scorer(spec: KernelSpec,
     need shm plumbing).  Returns the scorer plus the attached segments,
     which must stay referenced for the scorer's lifetime.
     """
+    from repro.backend import NumpyBackend
     from repro.core.influence import GroupContext, InfluenceScorer, ScorerStats
     from repro.index import IndexPlanner, PrefixAggregateIndex
     from repro.predicates.evaluator import ArrayMaskEvaluator
@@ -288,6 +289,10 @@ def build_worker_scorer(spec: KernelSpec,
     scorer.c_holdout = spec.c_holdout
     scorer.perturbation = spec.perturbation
     scorer.stats = ScorerStats()
+    # Workers always run the numpy reference engine: the parent ships
+    # pre-built views and pre-summed totals, so any pushdown already
+    # happened (and was counted) parent-side.
+    scorer._backend = NumpyBackend()
     scorer._incremental = spec.incremental
     scorer.batch_chunk = spec.batch_chunk
     scorer._score_cache = None

@@ -30,7 +30,7 @@ from repro.table.table import Table
 _TOKEN_RE = re.compile(
     r"""\s*(?:
         (?P<string>'(?:[^']|'')*')      |
-        (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?) |
+        (?P<number>-?(?:\d+(?:\.\d+)?|\.\d+)(?:[eE][+-]?\d+)?) |
         (?P<op><=|>=|!=|<>|=|<|>)       |
         (?P<punct>[(),])                |
         (?P<word>[A-Za-z_][A-Za-z_0-9.]*)
@@ -73,7 +73,10 @@ class Condition:
             )
         if self.op == "=":
             return column.membership_mask([literal])
-        return ~column.membership_mask([literal])
+        # SQL three-valued logic: ``x != lit`` is NULL (i.e. false in a
+        # WHERE clause) when x is NULL, so missing values never match a
+        # negated equality — matching DuckDB and every SQL engine.
+        return ~column.membership_mask([literal]) & column.notnull_mask()
 
 
 @dataclass(frozen=True)
@@ -169,8 +172,12 @@ def _parse_literal(tokens: _Tokens) -> object:
     if kind == "string":
         return value[1:-1].replace("''", "'")
     if kind == "number":
-        number = float(value)
-        return number
+        # Integer literals stay ``int``: discrete columns are coded by
+        # exact Python values, and a SQL backend pushing the comparison
+        # down must see the same typed literal numpy membership sees.
+        if any(ch in value for ch in ".eE"):
+            return float(value)
+        return int(value)
     raise QueryError(f"expected a literal, got {value!r}")
 
 

@@ -61,6 +61,22 @@ def table_fingerprint(table: Table) -> str:
     return fingerprint
 
 
+def invalidate_fingerprint(table: Table) -> None:
+    """Drop the memoized content digest of ``table``.
+
+    Tables are immutable by convention — every relational operation
+    returns a new ``Table`` and column arrays are flagged read-only — so
+    the memoized digest normally never goes stale.  Any code path that
+    nevertheless mutates a table in place (e.g. flipping a column
+    array's write flag to patch values) MUST call this hook afterwards,
+    or the resident service can keep serving cached explanations
+    computed from the pre-mutation data.  The next
+    :func:`table_fingerprint` call rehashes the current contents.
+    """
+    if getattr(table, _FINGERPRINT_ATTR, None) is not None:
+        object.__delattr__(table, _FINGERPRINT_ATTR)
+
+
 def _normalize_key(key) -> tuple:
     """Group keys arrive as scalars (single group-by column) or tuples;
     the provenance resolver accepts both for the same group, so the

@@ -181,7 +181,11 @@ class ExplainService:
         deadline expiries are logged as ``deadline_expired`` events.
     **scorpion_kwargs:
         Forwarded to each entry's :class:`~repro.core.scorpion.Scorpion`
-        (``algorithm``, ``workers``, ``top_k``, ``trace``, ...).  When
+        (``algorithm``, ``workers``, ``top_k``, ``trace``,
+        ``backend``, ...).  Content keys are derived from the problem
+        alone, never from these kwargs — in particular ``backend`` is an
+        execution strategy with a bit-for-bit contract, so cached
+        artifacts are valid whichever engine built them.  When
         tracing is on (``trace=True`` or ``SCORPION_TRACE=1``) the
         service activates one tracer per request, so checkout/build
         spans and the inner explain tree share one trace on

@@ -140,6 +140,23 @@ class Column:
         self._codes = codes
         self._code_of = code_of
 
+    def notnull_mask(self) -> np.ndarray:
+        """Boolean mask of rows holding a non-null value.
+
+        ``None`` and float NaN count as null (a discrete object column
+        loaded from messy data can hold either).  Continuous columns
+        treat NaN as null, matching SQL semantics.
+        """
+        if self._spec.is_continuous:
+            return ~np.isnan(self._values)
+        mask = np.empty(len(self._values), dtype=bool)
+        for i, value in enumerate(self._values):
+            mask[i] = not (
+                value is None
+                or (isinstance(value, float) and value != value)
+            )
+        return mask
+
     def membership_mask(self, allowed: Iterable) -> np.ndarray:
         """Boolean mask of rows whose value is in ``allowed`` (discrete only).
 

@@ -37,7 +37,11 @@ def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
     1. scalar ``score()`` per predicate (the reference semantics);
     2. ``score_batch`` with the index disabled (mask-matrix kernel);
     3. ``score_batch`` with the index enabled (planner-routed tiers);
-    4. when ``workers`` is given: ``score_batch`` with ``workers``
+    4. when the ``duckdb`` package is installed: the indexed run again
+       with ``backend="duckdb"`` (pushdown state building and view
+       construction) — silently skipped otherwise, since the numpy
+       fallback that run would degrade to is already leg 3;
+    5. when ``workers`` is given: ``score_batch`` with ``workers``
        processes three ways — predicate-axis sharding, group-axis
        sharding (``group_chunk=1`` with the predicate axis left in one
        shard), and 2-D tiling (small predicate chunks × group ranges).
@@ -93,6 +97,26 @@ def assert_scoring_paths_agree(problem, predicates, *, ignore_holdouts=False,
     if predicates:
         assert any(s["name"] == "score_batch" for s in tracer.export()), \
             "traced batch recorded no score_batch span"
+
+    # DuckDB pushdown leg: the backend contract says routing state
+    # building and index views through an engine is bit-for-bit
+    # invisible — influences AND routing counters must match the
+    # indexed numpy run exactly.
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        duckdb = None
+    if duckdb is not None:
+        duck_kwargs = dict(scorer_kwargs)
+        duck_kwargs["backend"] = "duckdb"
+        ducked = InfluenceScorer(problem, cache_scores=False,
+                                 **duck_kwargs, **chunk_kwargs)
+        via_duckdb = ducked.score_batch(predicates,
+                                        ignore_holdouts=ignore_holdouts)
+        np.testing.assert_array_equal(via_duckdb, scalar)
+        for name in ROUTING_COUNTERS:
+            assert getattr(ducked.stats, name) == \
+                getattr(indexed.stats, name), f"duckdb leg: {name}"
 
     stats = indexed.stats
     assert stats.indexed_predicates == (

@@ -1,0 +1,412 @@
+"""Execution-backend seam: resolution, the numpy reference engine, pure
+SQL generation, cube pre-aggregation, and the SQL-layer correctness
+fixes that ride with the backend contract (null-excluding ``!=``,
+fingerprint invalidation).  Everything here runs without ``duckdb``
+installed; the live engine is covered by ``test_backend_duckdb.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates import Avg, Sum
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    CubeIndex,
+    ExecutionBackend,
+    NumpyBackend,
+    build_cube_numpy,
+    resolve_backend,
+)
+from repro.backend import sqlgen
+from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.errors import BackendError
+from repro.index.discrete import GroupDiscreteIndex
+from repro.index.prefix import GroupAttributeIndex
+from repro.query.groupby import GroupByQuery
+from repro.query.sql import Condition, parse_query
+from repro.service import invalidate_fingerprint, table_fingerprint
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+from tests.conftest import planted_sum_table
+
+
+class TestResolveBackend:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    @pytest.mark.parametrize("name", ["numpy", "auto", "default", "",
+                                      "NumPy"])
+    def test_numpy_spellings(self, name):
+        assert resolve_backend(name).name == "numpy"
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            resolve_backend("sqlite")
+
+    def test_missing_engine_degrades_with_warning(self):
+        # The container has no duckdb package; the knob must degrade to
+        # the numpy reference with a warning and a counted fallback,
+        # never fail the explain.  (With duckdb installed the live
+        # backend resolves instead — also a valid outcome.)
+        try:
+            import duckdb  # noqa: F401
+        except ImportError:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                backend = resolve_backend("duckdb")
+            assert backend.name == "numpy"
+            assert backend.stats.fallbacks == 1
+        else:
+            assert resolve_backend("duckdb").name == "duckdb"
+
+    def test_fresh_instance_per_call(self):
+        assert resolve_backend("numpy") is not resolve_backend("numpy")
+
+
+class TestNumpyBackendReference:
+    """The numpy backend must replicate the original in-place
+    construction bit for bit — it IS the reference every other engine
+    is measured against."""
+
+    def test_group_total_states_bit_equal(self):
+        rng = np.random.default_rng(7)
+        groups = [rng.normal(size=(50, 2)), rng.normal(size=(3, 2)),
+                  None, np.empty((0, 2))]
+        backend = NumpyBackend()
+        totals = backend.group_total_states(groups)
+        assert totals[2] is None
+        for states, total in zip(groups, totals):
+            if states is None:
+                continue
+            np.testing.assert_array_equal(total, states.sum(axis=0))
+        # The reference engine counts nothing — it is the baseline.
+        assert backend.stats.routed_states == 0
+        assert backend.stats.fallbacks == 0
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_range_view_matches_direct_construction(self, exact):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0, 100, 64)
+        values[5] = values[9]  # exercise stable tie-breaking
+        states = (np.column_stack([np.arange(64.0), np.ones(64)])
+                  if exact else rng.normal(size=(64, 2)))
+        direct = GroupAttributeIndex(values, states, exact)
+        order, sorted_values, prefix = NumpyBackend().build_range_view(
+            values, states, exact)
+        adopted = GroupAttributeIndex.from_arrays(order, sorted_values,
+                                                  prefix)
+        np.testing.assert_array_equal(adopted.order, direct.order)
+        np.testing.assert_array_equal(adopted.sorted_values,
+                                      direct.sorted_values)
+        assert (adopted.prefix is None) == (direct.prefix is None)
+        if direct.prefix is not None:
+            np.testing.assert_array_equal(adopted.prefix, direct.prefix)
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_discrete_view_matches_direct_construction(self, exact):
+        rng = np.random.default_rng(13)
+        codes = rng.integers(0, 5, 48).astype(np.int64)
+        states = np.column_stack([np.arange(48.0), np.ones(48)])
+        direct = GroupDiscreteIndex(codes, 5, states, exact)
+        order, offsets, buckets = NumpyBackend().build_discrete_view(
+            codes, 5, states, exact)
+        adopted = GroupDiscreteIndex.from_arrays(order, offsets, buckets)
+        np.testing.assert_array_equal(adopted.order, direct.order)
+        np.testing.assert_array_equal(adopted.offsets, direct.offsets)
+        assert (adopted.bucket_states is None) == \
+            (direct.bucket_states is None)
+        if direct.bucket_states is not None:
+            np.testing.assert_array_equal(adopted.bucket_states,
+                                          direct.bucket_states)
+
+    def test_mask_count_matches_condition_masks(self, sensors_table):
+        parsed = parse_query(
+            "SELECT avg(temp) FROM sensors "
+            "WHERE voltage >= 2.5 AND sensorid != 3 GROUP BY time")
+        expected = int(parsed.where(sensors_table).sum())
+        assert NumpyBackend().mask_count(
+            sensors_table, parsed.conditions) == expected
+
+    def test_execute_query_matches_groupby(self, sensors_table):
+        parsed = parse_query("SELECT avg(temp) FROM sensors GROUP BY time")
+        out = NumpyBackend().execute_query(sensors_table, parsed)
+        direct = {r.key: float(r.value)
+                  for r in parsed.to_query().execute(sensors_table)}
+        assert out == direct
+
+
+class TestSqlgen:
+    def test_quote_identifier_doubles_quotes(self):
+        assert sqlgen.quote_identifier('we"ird') == '"we""ird"'
+
+    def test_quote_literal_string_escaping(self):
+        assert sqlgen.quote_literal("O'Brien") == "'O''Brien'"
+
+    def test_quote_literal_preserves_int_vs_float(self):
+        assert sqlgen.quote_literal(5) == "5"
+        assert sqlgen.quote_literal(5.0) == "5.0"
+        assert sqlgen.quote_literal(None) == "NULL"
+        assert sqlgen.quote_literal(True) == "1"
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), object()])
+    def test_quote_literal_rejects_unrepresentable(self, bad):
+        with pytest.raises(BackendError):
+            sqlgen.quote_literal(bad)
+
+    def test_condition_sql_spells_not_equal_portably(self):
+        sql = sqlgen.condition_sql(Condition("state", "!=", "TX"))
+        assert sql == '"state" <> \'TX\''
+
+    def test_condition_sql_rejects_unknown_op(self):
+        with pytest.raises(BackendError):
+            sqlgen.condition_sql(Condition("a", "LIKE", "x"))
+
+    def test_mask_count_sql(self):
+        sql = sqlgen.mask_count_sql(
+            "t", [Condition("a", ">=", 10), Condition("b", "=", "x")])
+        assert sql == ('SELECT count(*) FROM "t" WHERE "a" >= 10 '
+                       'AND "b" = \'x\'')
+
+    def test_state_components_match_tuple_state_layouts(self):
+        # Component order must equal each aggregate's tuple_states
+        # column order — a fetched row IS a total state vector.
+        assert sqlgen.state_component_sql("sum", "v") == \
+            ('sum("v")', 'count(*)')
+        assert sqlgen.state_component_sql("stddev", "v") == \
+            ('sum("v")', 'sum("v" * "v")', 'count(*)')
+        assert sqlgen.state_component_sql("count", "v") == ('count(*)',)
+
+    def test_black_box_aggregate_not_pushable(self):
+        with pytest.raises(BackendError, match="not pushable"):
+            sqlgen.state_component_sql("median", "v")
+
+    def test_grouped_query_sql_shape(self):
+        sql = sqlgen.grouped_query_sql(
+            "rel", "avg", "temp", ("time",),
+            [Condition("sensorid", "!=", 3)])
+        assert sql == ('SELECT "time", sum("temp"), count(*) FROM "rel" '
+                       'WHERE "sensorid" <> 3 GROUP BY "time" '
+                       'ORDER BY "time"')
+
+    def test_prefix_states_sql_is_running_window(self):
+        sql = sqlgen.prefix_states_sql("rel", "pos", ["s0"])
+        assert "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW" in sql
+        assert 'ORDER BY "pos"' in sql
+
+
+class TestCube:
+    def test_cells_match_direct_scan(self, sensors_table):
+        cube = build_cube_numpy(sensors_table, ("time", "sensorid"),
+                                "avg", "temp")
+        assert cube.source == "numpy"
+        assert cube.exact  # temp values are integer-valued
+        times = sensors_table.values("time")
+        sensors = sensors_table.values("sensorid")
+        temps = np.asarray(sensors_table.values("temp"), dtype=np.float64)
+        for key in cube.keys():
+            t, s = key
+            mask = np.asarray([(a, b) == (t, s)
+                               for a, b in zip(times, sensors)])
+            count, state = cube.cell(key)
+            assert count == int(mask.sum())
+            np.testing.assert_array_equal(
+                state, Avg().tuple_states(temps[mask]).sum(axis=0))
+
+    def test_slice_and_aggregate_value(self, sensors_table):
+        cube = build_cube_numpy(sensors_table, ("time", "sensorid"),
+                                "avg", "temp")
+        count, state = cube.slice_states({"time": "12PM"})
+        assert count == 3
+        assert cube.aggregate_value({"time": "12PM"}) == \
+            pytest.approx((35.0 + 35.0 + 100.0) / 3)
+        # Set-valued constraint over one dimension.
+        count, _ = cube.slice_states({"sensorid": [1, 2]})
+        assert count == 6
+        # Empty match recovers NaN, mirroring recover_batch.
+        assert np.isnan(cube.aggregate_value({"time": "3AM"}))
+
+    def test_absent_combination_is_zero_cell(self, sensors_table):
+        cube = build_cube_numpy(sensors_table, ("time",), "sum", "temp")
+        count, state = cube.cell(("3AM",))
+        assert count == 0
+        np.testing.assert_array_equal(state, np.zeros(2))
+
+    def test_unknown_dimension_raises(self, sensors_table):
+        cube = build_cube_numpy(sensors_table, ("time",), "sum", "temp")
+        with pytest.raises(BackendError, match="not cube dimensions"):
+            cube.slice_states({"voltage": 2.7})
+
+    def test_validation(self, sensors_table):
+        with pytest.raises(BackendError, match="at least one"):
+            build_cube_numpy(sensors_table, (), "sum", "temp")
+        with pytest.raises(BackendError, match="must be discrete"):
+            build_cube_numpy(sensors_table, ("voltage",), "sum", "temp")
+        with pytest.raises(BackendError, match="no state decomposition"):
+            build_cube_numpy(sensors_table, ("time",), "median", "temp")
+        with pytest.raises(BackendError, match="must be continuous"):
+            build_cube_numpy(sensors_table, ("time",), "sum", "sensorid")
+
+    def test_max_cells_guard(self, sensors_table):
+        with pytest.raises(BackendError, match="exceed"):
+            build_cube_numpy(sensors_table, ("time", "sensorid"),
+                             "avg", "temp", max_cells=4)
+
+    def test_same_cells_is_bitwise(self, sensors_table):
+        a = build_cube_numpy(sensors_table, ("time",), "avg", "temp")
+        b = build_cube_numpy(sensors_table, ("time",), "avg", "temp")
+        assert a.same_cells(b)
+        perturbed = {key: (count, state + 1e-9)
+                     for key, (count, state) in b._cells.items()}
+        c = CubeIndex(b.attributes, b.aggregate_name, b.agg_column,
+                      perturbed, exact=b.exact, source="numpy")
+        assert not a.same_cells(c)
+
+    def test_numpy_build_counts_nothing(self, sensors_table):
+        backend = NumpyBackend()
+        backend.build_cube(sensors_table, ("time",), "avg", "temp")
+        assert backend.stats.routed_cubes == 0
+
+
+def _nullable_table() -> Table:
+    schema = Schema([
+        ColumnSpec("g", ColumnKind.DISCRETE),
+        ColumnSpec("state", ColumnKind.DISCRETE),
+        ColumnSpec("v", ColumnKind.CONTINUOUS),
+    ])
+    return Table.from_rows(schema, [
+        ("a", "TX", 1.0),
+        ("a", None, 2.0),
+        ("a", "CA", 3.0),
+        ("b", float("nan"), 4.0),
+        ("b", "TX", 5.0),
+    ])
+
+
+class TestNullSemantics:
+    """Satellite fix: discrete ``!=`` must not match missing values —
+    SQL three-valued logic, shared by every backend."""
+
+    def _backends(self):
+        backends = [NumpyBackend()]
+        try:
+            from repro.backend import DuckDBBackend
+            backends.append(DuckDBBackend())
+        except Exception:
+            pass  # duckdb not installed: numpy-only run
+        return backends
+
+    def test_not_equal_excludes_nulls(self):
+        table = _nullable_table()
+        condition = Condition("state", "!=", "TX")
+        mask = condition.mask(table)
+        # Rows 1 (None) and 3 (NaN) must NOT match despite != 'TX'.
+        np.testing.assert_array_equal(
+            mask, [False, False, True, False, False])
+        for backend in self._backends():
+            assert backend.mask_count(table, [condition]) == 1, backend
+
+    def test_equality_never_matches_nulls(self):
+        table = _nullable_table()
+        condition = Condition("state", "=", "TX")
+        np.testing.assert_array_equal(
+            condition.mask(table), [True, False, False, False, True])
+        for backend in self._backends():
+            assert backend.mask_count(table, [condition]) == 2, backend
+
+    def test_notnull_mask(self):
+        table = _nullable_table()
+        np.testing.assert_array_equal(
+            table.column("state").notnull_mask(),
+            [True, False, True, False, True])
+        cont = Table.from_rows(
+            Schema([ColumnSpec("v", ColumnKind.CONTINUOUS)]),
+            [(1.0,), (float("nan"),), (3.0,)])
+        np.testing.assert_array_equal(
+            cont.column("v").notnull_mask(), [True, False, True])
+
+
+class TestFingerprintInvalidation:
+    """Satellite fix: the memoized table fingerprint must be
+    explicitly invalidatable (tables are immutable by convention, not
+    by enforcement)."""
+
+    def test_fingerprint_is_memoized(self, sensors_table):
+        first = table_fingerprint(sensors_table)
+        assert table_fingerprint(sensors_table) == first
+
+    def test_invalidate_forces_recompute_after_mutation(self, sensors_table):
+        stale = table_fingerprint(sensors_table)
+        # In-place mutation behind the memo's back (the documented
+        # convention violation the hook exists for; columns are
+        # read-only, so the violator flips the write flag too).
+        values = sensors_table.column("temp").values
+        values.setflags(write=True)
+        try:
+            values[0] = 999.0
+        finally:
+            values.setflags(write=False)
+        assert table_fingerprint(sensors_table) == stale  # memo is stale
+        invalidate_fingerprint(sensors_table)
+        fresh = table_fingerprint(sensors_table)
+        assert fresh != stale
+
+    def test_invalidate_without_fingerprint_is_noop(self, sensors_table):
+        invalidate_fingerprint(sensors_table)  # nothing memoized yet
+        assert table_fingerprint(sensors_table)
+
+
+class TestScorerBackendKnob:
+    def test_scorer_resolves_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        table, outliers, holdouts = planted_sum_table(n_per_group=20)
+        problem = ScorpionQuery(
+            table=table, query=GroupByQuery("g", Sum(), "value"),
+            outliers=outliers, holdouts=holdouts, error_vectors=+1.0)
+        scorer = InfluenceScorer(problem)
+        assert scorer._backend.name == "numpy"
+
+    def test_backend_gauges_zero_on_numpy(self):
+        table, outliers, holdouts = planted_sum_table(n_per_group=20)
+        problem = ScorpionQuery(
+            table=table, query=GroupByQuery("g", Sum(), "value"),
+            outliers=outliers, holdouts=holdouts, error_vectors=+1.0)
+        scorer = InfluenceScorer(problem, backend="numpy")
+        scorer.prepare_index()
+        stats = scorer.stats.as_dict()
+        assert stats["backend_routed_states"] == 0
+        assert stats["backend_routed_views"] == 0
+        assert stats["backend_fallbacks"] == 0
+
+    def test_total_states_unchanged_by_seam(self):
+        # The deferred batched total-state build must equal the old
+        # per-context states.sum(axis=0) bit for bit.
+        table, outliers, holdouts = planted_sum_table(n_per_group=20)
+        problem = ScorpionQuery(
+            table=table, query=GroupByQuery("g", Sum(), "value"),
+            outliers=outliers, holdouts=holdouts, error_vectors=+1.0)
+        scorer = InfluenceScorer(problem)
+        for context in scorer.contexts:
+            np.testing.assert_array_equal(
+                context.total_state, context.tuple_states.sum(axis=0))
+
+    def test_explicit_instance_is_adopted(self):
+        backend = NumpyBackend()
+        table, outliers, holdouts = planted_sum_table(n_per_group=20)
+        problem = ScorpionQuery(
+            table=table, query=GroupByQuery("g", Sum(), "value"),
+            outliers=outliers, holdouts=holdouts, error_vectors=+1.0)
+        scorer = InfluenceScorer(problem, backend=backend)
+        assert scorer._backend is backend
+        assert isinstance(scorer._backend, ExecutionBackend)

@@ -1,0 +1,255 @@
+"""Live DuckDB pushdown backend: the differential oracle against the
+numpy reference engine.
+
+The whole module skips when the ``duckdb`` package is not installed
+(the dedicated CI job installs it); the engine-free halves of the
+backend — resolution, SQL generation, the numpy reference, graceful
+degradation — are covered unconditionally in ``test_backend.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+duckdb = pytest.importorskip("duckdb")
+
+from repro.backend import DuckDBBackend, NumpyBackend, resolve_backend
+from repro.core.influence import InfluenceScorer
+from repro.core.problem import ScorpionQuery
+from repro.core.scorpion import Scorpion
+from repro.query.groupby import GroupByQuery
+from repro.query.sql import Condition, parse_query
+from repro.aggregates import Sum
+from repro.table import ColumnKind, ColumnSpec, Schema, Table
+
+from tests.conftest import planted_sum_table
+
+
+@pytest.fixture
+def backend():
+    b = DuckDBBackend()
+    yield b
+    b.close()
+
+
+@pytest.fixture
+def reference():
+    return NumpyBackend()
+
+
+def _sum_problem(n_per_group=40):
+    table, outliers, holdouts = planted_sum_table(n_per_group=n_per_group)
+    return ScorpionQuery(
+        table=table, query=GroupByQuery("g", Sum(), "value"),
+        outliers=outliers, holdouts=holdouts, error_vectors=+1.0, c=0.5)
+
+
+class TestResolution:
+    def test_duckdb_resolves_live(self):
+        backend = resolve_backend("duckdb")
+        assert isinstance(backend, DuckDBBackend)
+        assert backend.name == "duckdb"
+
+
+class TestGroupTotalStates:
+    def test_exact_states_bit_equal_and_routed(self, backend, reference):
+        rng = np.random.default_rng(3)
+        groups = [
+            np.column_stack([rng.integers(0, 100, 30).astype(np.float64),
+                             np.ones(30)]),
+            np.column_stack([rng.integers(-5, 5, 7).astype(np.float64),
+                             np.ones(7)]),
+            None,
+            np.empty((0, 2)),
+        ]
+        expected = reference.group_total_states(groups)
+        got = backend.group_total_states(groups)
+        assert got[2] is None
+        for e, g in zip(expected, got):
+            if e is None:
+                continue
+            np.testing.assert_array_equal(g, e)
+        assert backend.stats.routed_states == 2  # two non-empty exact
+
+    def test_non_exact_states_fall_back(self, backend, reference):
+        rng = np.random.default_rng(5)
+        groups = [rng.normal(size=(20, 2))]  # non-integer: not exact
+        expected = reference.group_total_states(groups)
+        got = backend.group_total_states(groups)
+        np.testing.assert_array_equal(got[0], expected[0])
+        assert backend.stats.routed_states == 0
+        assert backend.stats.fallbacks == 1
+
+
+class TestIndexViews:
+    def test_range_view_bit_equal(self, backend, reference):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0, 100, 64)
+        values[3] = values[40]  # stable-sort tie
+        states = np.column_stack([
+            rng.integers(0, 50, 64).astype(np.float64), np.ones(64)])
+        expected = reference.build_range_view(values, states, True)
+        got = backend.build_range_view(values, states, True)
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(g, e)
+        assert backend.stats.routed_views == 1
+
+    def test_discrete_view_bit_equal(self, backend, reference):
+        rng = np.random.default_rng(9)
+        codes = rng.integers(0, 6, 48).astype(np.int64)
+        states = np.column_stack([
+            rng.integers(0, 50, 48).astype(np.float64), np.ones(48)])
+        expected = reference.build_discrete_view(codes, 6, states, True)
+        got = backend.build_discrete_view(codes, 6, states, True)
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(g, e)
+        assert backend.stats.routed_views == 1
+
+    def test_inexact_view_has_no_prefix(self, backend):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0, 1, 16)
+        states = rng.normal(size=(16, 2))
+        order, sorted_values, prefix = backend.build_range_view(
+            values, states, False)
+        assert prefix is None
+        np.testing.assert_array_equal(sorted_values, np.sort(values))
+
+
+class TestSqlLayer:
+    def test_mask_count_matches(self, backend, reference, sensors_table):
+        parsed = parse_query(
+            "SELECT avg(temp) FROM sensors "
+            "WHERE voltage >= 2.5 AND sensorid != 3 GROUP BY time")
+        expected = reference.mask_count(sensors_table, parsed.conditions)
+        assert backend.mask_count(sensors_table, parsed.conditions) == \
+            expected
+        assert backend.stats.routed_queries == 1
+
+    def test_not_equal_excludes_nulls(self, backend, reference):
+        schema = Schema([
+            ColumnSpec("state", ColumnKind.DISCRETE),
+            ColumnSpec("v", ColumnKind.CONTINUOUS),
+        ])
+        table = Table.from_rows(schema, [
+            ("TX", 1.0), (None, 2.0), ("CA", 3.0), (float("nan"), 4.0)])
+        conditions = [Condition("state", "!=", "TX")]
+        assert reference.mask_count(table, conditions) == 1
+        assert backend.mask_count(table, conditions) == 1
+
+    def test_execute_query_bit_equal_on_exact_values(self, backend,
+                                                     reference,
+                                                     sensors_table):
+        # temp values are integer-valued, so even AVG recombination is
+        # exact and the strict equality leg of the tolerance contract
+        # applies.
+        parsed = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE sensorid != 3 "
+            "GROUP BY time")
+        expected = reference.execute_query(sensors_table, parsed)
+        got = backend.execute_query(sensors_table, parsed)
+        assert set(got) == set(expected)
+        for key, value in expected.items():
+            assert got[key] == value, key
+
+    def test_execute_query_tolerance_on_float_recombination(self, backend,
+                                                            reference):
+        # Non-integer values: the engine may sum in a different order
+        # than numpy's pairwise reduction — the ONE documented
+        # tolerance in the backend contract (rtol ~1e-12).
+        rng = np.random.default_rng(13)
+        n = 500
+        schema = Schema([
+            ColumnSpec("g", ColumnKind.DISCRETE),
+            ColumnSpec("v", ColumnKind.CONTINUOUS),
+        ])
+        table = Table.from_columns(schema, {
+            "g": np.repeat(["a", "b"], n // 2),
+            "v": rng.normal(size=n),
+        })
+        parsed = parse_query("SELECT stddev(v) FROM t GROUP BY g")
+        expected = reference.execute_query(table, parsed)
+        got = backend.execute_query(table, parsed)
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key], rel=1e-12)
+
+    def test_nan_condition_column_falls_back(self, backend, reference):
+        # DuckDB's NaN ordering differs from numpy's; a condition over a
+        # NaN-carrying continuous column must take the reference path.
+        schema = Schema([
+            ColumnSpec("g", ColumnKind.DISCRETE),
+            ColumnSpec("v", ColumnKind.CONTINUOUS),
+        ])
+        table = Table.from_rows(schema, [
+            ("a", 1.0), ("a", float("nan")), ("a", 3.0)])
+        conditions = [Condition("v", ">", 0.5)]
+        expected = reference.mask_count(table, conditions)
+        assert backend.mask_count(table, conditions) == expected == 2
+        assert backend.stats.fallbacks == 1
+        assert backend.stats.routed_queries == 0
+
+    def test_black_box_aggregate_falls_back(self, backend, reference,
+                                            sensors_table):
+        parsed = parse_query(
+            "SELECT median(temp) FROM sensors GROUP BY time")
+        expected = reference.execute_query(sensors_table, parsed)
+        got = backend.execute_query(sensors_table, parsed)
+        assert got == expected
+        assert backend.stats.fallbacks == 1
+
+
+class TestCube:
+    def test_cube_build_bit_equal(self, backend, reference, sensors_table):
+        numpy_cube = reference.build_cube(sensors_table,
+                                          ("time", "sensorid"),
+                                          "avg", "temp")
+        duck_cube = backend.build_cube(sensors_table, ("time", "sensorid"),
+                                       "avg", "temp")
+        assert duck_cube.source == "duckdb"
+        assert duck_cube.exact
+        assert duck_cube.same_cells(numpy_cube)
+        assert backend.stats.routed_cubes == 1
+
+    def test_non_exact_cube_falls_back_to_numpy_build(self, backend):
+        rng = np.random.default_rng(17)
+        schema = Schema([
+            ColumnSpec("g", ColumnKind.DISCRETE),
+            ColumnSpec("v", ColumnKind.CONTINUOUS),
+        ])
+        table = Table.from_columns(schema, {
+            "g": np.repeat(["a", "b"], 10),
+            "v": rng.normal(size=20),
+        })
+        cube = backend.build_cube(table, ("g",), "sum", "v")
+        assert cube.source == "numpy"
+        assert backend.stats.fallbacks == 1
+
+
+class TestScorerIntegration:
+    def test_influences_bit_equal_and_routed(self):
+        problem = _sum_problem()
+        numpy_scorer = InfluenceScorer(problem, cache_scores=False,
+                                       backend="numpy")
+        duck_scorer = InfluenceScorer(problem, cache_scores=False,
+                                      backend="duckdb")
+        attrs = duck_scorer.prepare_index()
+        numpy_scorer.prepare_index(attrs)
+        # Planted SUM states are integer-valued, so the pushdowns engage.
+        assert duck_scorer.stats.backend_routed_states > 0
+        assert duck_scorer.stats.backend_routed_views > 0
+        for context_n, context_d in zip(numpy_scorer.contexts,
+                                        duck_scorer.contexts):
+            np.testing.assert_array_equal(context_d.total_state,
+                                          context_n.total_state)
+
+    def test_explain_bit_equal(self):
+        problem = _sum_problem()
+        base = Scorpion(algorithm="dt", backend="numpy").explain(problem)
+        pushed = Scorpion(algorithm="dt", backend="duckdb").explain(
+            _sum_problem())
+        assert [str(e.predicate) for e in pushed.explanations] == \
+            [str(e.predicate) for e in base.explanations]
+        assert [e.influence for e in pushed.explanations] == \
+            [e.influence for e in base.explanations]
+        assert pushed.scorer_stats["backend_routed_states"] > 0

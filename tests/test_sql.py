@@ -50,6 +50,73 @@ class TestParsing:
             parse_query("SELECT avg(v), other FROM t GROUP BY g")
 
 
+class TestLiterals:
+    """Typed-literal contract: what the parser produces is what both
+    the numpy layer and a SQL pushdown backend compare against."""
+
+    def test_integer_literal_stays_int(self):
+        q = parse_query("SELECT avg(v) FROM t WHERE a = 5 GROUP BY g")
+        assert q.conditions[0].literal == 5
+        assert type(q.conditions[0].literal) is int
+
+    def test_float_literal_stays_float(self):
+        q = parse_query("SELECT avg(v) FROM t WHERE a = 5.25 GROUP BY g")
+        assert q.conditions[0].literal == 5.25
+        assert type(q.conditions[0].literal) is float
+
+    def test_leading_dot_float(self):
+        q = parse_query("SELECT avg(v) FROM t WHERE a >= .5 GROUP BY g")
+        assert q.conditions[0].literal == 0.5
+        assert type(q.conditions[0].literal) is float
+
+    def test_scientific_notation_is_float(self):
+        q = parse_query(
+            "SELECT avg(v) FROM t WHERE a < 1e3 AND b > 2.5E-2 GROUP BY g")
+        assert q.conditions[0].literal == 1000.0
+        assert type(q.conditions[0].literal) is float
+        assert q.conditions[1].literal == 0.025
+
+    def test_negative_integer_stays_int(self):
+        q = parse_query("SELECT avg(v) FROM t WHERE a > -3 GROUP BY g")
+        assert q.conditions[0].literal == -3
+        assert type(q.conditions[0].literal) is int
+
+    def test_sql_spelled_not_equal(self):
+        q = parse_query("SELECT avg(v) FROM t WHERE a <> 7 GROUP BY g")
+        assert q.conditions[0].op == "<>"
+        assert q.conditions[0].literal == 7
+
+    def test_int_literal_matches_int_coded_discrete(self, sensors_table):
+        # sensorid values are Python ints; the old float coercion made
+        # `sensorid = 3` compare 3.0 against int codes.
+        q = parse_query(
+            "SELECT avg(temp) FROM sensors WHERE sensorid = 3 GROUP BY time"
+        ).to_query()
+        results = q.execute(sensors_table)
+        assert sum(r.group_size for r in results) == 3
+
+
+class TestNullSemantics:
+    def test_not_equal_excludes_missing_discrete_values(self):
+        from repro.table import ColumnKind, ColumnSpec, Schema, Table
+        schema = Schema([
+            ColumnSpec("g", ColumnKind.DISCRETE),
+            ColumnSpec("state", ColumnKind.DISCRETE),
+            ColumnSpec("v", ColumnKind.CONTINUOUS),
+        ])
+        table = Table.from_rows(schema, [
+            ("a", "TX", 1.0), ("a", None, 2.0), ("a", "CA", 3.0),
+        ])
+        q = parse_query(
+            "SELECT sum(v) FROM t WHERE state != 'TX' GROUP BY g"
+        ).to_query()
+        results = q.execute(table)
+        # Only the CA row matches; the None row satisfies neither = nor
+        # != (SQL three-valued logic).
+        assert results.by_key(("a",)).value == pytest.approx(3.0)
+        assert results.by_key(("a",)).group_size == 1
+
+
 class TestRejections:
     @pytest.mark.parametrize("sql", [
         "SELECT avg temp FROM t GROUP BY g",          # missing parens
